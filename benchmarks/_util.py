@@ -1,0 +1,8 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def print_header(title: str) -> None:
+    line = "=" * max(len(title), 60)
+    print(f"\n{line}\n{title}\n{line}")

@@ -1,0 +1,36 @@
+"""Fig. 10: weak scaling from 128 to 524,288 CGs (8,320 to 34,078,720
+cores), MIX-PHY vs MIX-ML, with the paper's communication-share series.
+"""
+
+from benchmarks._util import print_header
+from repro.perf.scaling import weak_scaling_experiment
+
+
+def test_fig10_weak_scaling(benchmark):
+    results = benchmark(weak_scaling_experiment)
+    print_header(
+        "FIG 10 — Weak scaling (constant ~320 cells/CG, G12 timesteps)"
+    )
+    for scheme, pts in results.items():
+        print(f"\n{scheme}:")
+        print(f"{'grid':>6s} {'CGs':>8s} {'cores':>12s} {'SDPD':>8s} "
+              f"{'eff':>6s} {'comm%':>6s}")
+        for p in pts:
+            print(f"{p.grid_label:>6s} {p.nprocs:8d} {p.cores:12,d} "
+                  f"{p.sdpd:8.1f} {p.efficiency:6.2f} "
+                  f"{100 * p.comm_fraction:5.1f}%")
+    print("\n(paper: comm share rises from 19% to 37%; MIX-ML outperforms "
+          "MIX-PHY; clear scalability drop at 32,768 CGs)")
+
+    phy = results["MIX-PHY"]
+    ml = results["MIX-ML"]
+    # Paper claim 1: communication share rises 19% -> 37%.
+    assert abs(phy[0].comm_fraction - 0.19) < 0.05
+    assert abs(phy[-1].comm_fraction - 0.37) < 0.08
+    # Paper claim 2: the AI-enhanced model outperforms the conventional.
+    assert all(m.sdpd > p.sdpd for m, p in zip(ml, phy))
+    # Paper claim 3: the 32,768-CG drop.
+    effs = {p.nprocs: p.efficiency for p in phy}
+    assert (effs[8192] - effs[32768]) > (effs[2048] - effs[8192])
+    # Endpoint scale: 34M cores.
+    assert phy[-1].cores == 34_078_720

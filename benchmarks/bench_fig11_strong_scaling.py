@@ -1,0 +1,54 @@
+"""Fig. 11: strong scaling from 32,768 to 524,288 CGs — all four schemes
+at G12 (1.47-1.92 km) plus MIX-ML at G11S (2.93-3.83 km) — ending at the
+paper's 491 SDPD (G11S) and 181 SDPD (G12) headline points.
+"""
+
+from benchmarks._util import print_header
+from repro.perf.scaling import headline_numbers, strong_scaling_experiment
+
+
+def test_fig11_strong_scaling(benchmark):
+    results = benchmark(strong_scaling_experiment)
+    print_header("FIG 11 — Strong scaling, 32,768 -> 524,288 CGs")
+    for (grid, scheme), pts in results.items():
+        print(f"\n{grid} / {scheme}:")
+        print(f"{'CGs':>8s} {'cores':>12s} {'SDPD':>8s} {'eff':>6s}")
+        for p in pts:
+            print(f"{p.nprocs:8d} {p.cores:12,d} {p.sdpd:8.1f} {p.efficiency:6.2f}")
+
+    g12 = {k[1]: v for k, v in results.items() if k[0] == "G12"}
+    g11s = results[("G11S", "MIX-ML")]
+
+    # Paper endpoints: 491 SDPD (G11S) and 181 SDPD (G12) at 524,288 CGs.
+    final_g12 = g12["MIX-ML"][-1].sdpd
+    final_g11s = g11s[-1].sdpd
+    print(f"\nendpoints: G11S {final_g11s:.0f} SDPD (paper 491), "
+          f"G12 {final_g12:.0f} SDPD (paper 181)")
+    assert abs(final_g12 - 181.0) / 181.0 < 0.25
+    assert abs(final_g11s - 491.0) / 491.0 < 0.25
+
+    # Ordering: MIX beats DP, ML beats PHY, at every point.
+    for i in range(len(g11s)):
+        assert g12["MIX-ML"][i].sdpd > g12["MIX-PHY"][i].sdpd > g12["DP-PHY"][i].sdpd
+        assert g12["DP-ML"][i].sdpd > g12["DP-PHY"][i].sdpd
+
+    # G12: "a continuous decrease in scaling efficiency".
+    effs = [p.efficiency for p in g12["MIX-ML"]]
+    assert all(b < a for a, b in zip(effs, effs[1:]))
+
+    # G11S: diminishing but still-positive increments at the far end.
+    gains = [b.sdpd / a.sdpd for a, b in zip(g11s, g11s[1:])]
+    assert gains[0] > gains[-1] > 1.0
+
+
+def test_headline_sypd(benchmark):
+    """The abstract: '0.5 simulated-year-per-day (SYPD) for 1km' and
+    '1.35 SYPD for 3km global simulation'."""
+    h = benchmark(headline_numbers)
+    print_header("HEADLINE — simulation speed at 524,288 CGs (34M cores)")
+    print(f"G12 (1 km): {h['G12_sdpd']:6.1f} SDPD = {h['G12_sypd']:.2f} SYPD "
+          "(paper: 181 SDPD / 0.5 SYPD)")
+    print(f"G11S (3 km): {h['G11S_sdpd']:6.1f} SDPD = {h['G11S_sypd']:.2f} SYPD "
+          "(paper: 491 SDPD / 1.35 SYPD)")
+    assert abs(h["G12_sypd"] - 0.5) < 0.15
+    assert abs(h["G11S_sypd"] - 1.35) < 0.4

@@ -1,0 +1,87 @@
+"""Fig. 8: conventional vs ML-based parameterisation.
+
+(a,b): short integrations with each suite from the *same* spun-up state
+(the paper compares 3-hour rainfall at high resolution); the ML suite's
+rain pattern must correlate with the conventional one's.
+(c-f): the resolution-adaptive claim — the suite trained at one grid
+level runs stably at another and keeps the rainfall band structure.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._util import print_header
+from repro.dycore.vertical import VerticalCoordinate
+from repro.experiments.climate import (
+    run_climate_case,
+    short_integration_comparison,
+    zonal_mean_precip,
+)
+from repro.experiments.workflow import train_ml_suite
+from repro.grid import build_mesh
+from repro.ml.data import TABLE1_PERIODS
+
+
+@pytest.fixture(scope="module")
+def setup():
+    mesh2 = build_mesh(2)
+    vc = VerticalCoordinate.stretched(8)
+    trained = train_ml_suite(
+        mesh2, vc, periods=TABLE1_PERIODS, hours_per_period=12,
+        epochs=6, width=24, n_resunits=2,
+    )
+    return mesh2, vc, trained
+
+
+def test_fig8ab_short_integration(benchmark, setup):
+    mesh2, vc, trained = setup
+    print_header("FIG 8 (a,b) — short-integration rainfall, conventional vs ML")
+    print(f"training: {trained.n_train} train / {trained.n_test} test columns "
+          f"({trained.n_train / max(trained.n_test, 1):.1f}:1); "
+          f"tendency test MSE {trained.tendency_test_mse:.3f} (normalised), "
+          f"radiation test MSE {trained.radiation_test_mse:.3f}")
+
+    res = benchmark.pedantic(
+        short_integration_comparison,
+        args=(mesh2, vc, trained.suite),
+        kwargs=dict(spinup_hours=24.0, run_hours=8.0, seed=1),
+        rounds=1, iterations=1,
+    )
+    print(f"\nmean rain (mm/day): conventional {res['conv_mean_mm_day']:.2f}, "
+          f"ML {res['ml_mean_mm_day']:.2f}")
+    print(f"precipitation pattern correlation: r = {res['pattern_correlation']:.3f}")
+    print(f"zonal rain-band correlation:       r = {res['zonal_band_correlation']:.3f}")
+    print("\n(paper Fig. 8a,b: the ML suite reproduces the conventional "
+          "suite's rainfall structure in short integrations)")
+    assert res["pattern_correlation"] > 0.3
+    assert res["zonal_band_correlation"] > 0.3
+    # Magnitude within ~an order: the quick-trained net over-predicts
+    # rain (documented fidelity gap in EXPERIMENTS.md); the pattern is
+    # the reproduced quantity.
+    if res["conv_mean_mm_day"] > 0.01:
+        assert 0.05 < res["ml_mean_mm_day"] / res["conv_mean_mm_day"] < 20.0
+
+
+def test_fig8cf_resolution_adaptive(benchmark, setup):
+    """Section 3.2.2 / Fig. 8(c-f): the suite trained at one resolution
+    also works at another ('a 30km grid serves as a sub-grid to a 120km
+    grid'); here, trained on G2 columns, it runs stably on G3."""
+    mesh2, vc, trained = setup
+    mesh3 = build_mesh(3)
+
+    def run_fine():
+        return run_climate_case(
+            mesh3, vc, "DP-ML", hours=24.0, physics_suite=trained.suite, seed=2
+        )
+
+    res = benchmark.pedantic(run_fine, rounds=1, iterations=1)
+    print_header("FIG 8 (c-f analogue) — resolution adaptivity")
+    print(f"'finer grid' (G3) with the G2-trained ML suite, 24 h: "
+          f"stable={res.stable}, global {res.global_mean_mm_day:.3f} mm/day, "
+          f"NA box {res.na_box_mean_mm_day:.3f} mm/day")
+    lats, prof = zonal_mean_precip(mesh3, res.mean_precip, nbins=12)
+    band = " ".join(f"{v * 86400:5.2f}" for v in prof)
+    print(f"zonal-mean precip (mm/day) by latitude band:\n  {band}")
+    assert res.stable
+    assert np.isfinite(res.mean_precip).all()
+    assert res.mean_precip.min() >= 0.0

@@ -1,0 +1,107 @@
+"""Fig. 9: per-kernel CPE accelerations under DP / DP+DST / MIX / MIX+DST.
+
+Regenerates the figure's bars from the Sunway kernel timing model (the
+G6-grid, one-CG configuration of section 4.6) and cross-checks the
+LDCache mechanism on the cycle-level cache simulator.  Also times the
+*real* NumPy implementations of the same kernels.
+"""
+
+import numpy as np
+
+from benchmarks._util import print_header
+from repro.dycore.kernels import MAJOR_KERNELS, n_elements, sample_fields
+from repro.model.config import TABLE2_GRIDS
+from repro.sunway.allocator import PoolAllocator
+from repro.sunway.kernel import Engine, KernelTimer, Precision
+from repro.sunway.ldcache import loop_hit_ratio
+
+VARIANTS = [
+    ("DP", Precision.DP, False),
+    ("DP+DST", Precision.DP, True),
+    ("MIX", Precision.MIXED, False),
+    ("MIX+DST", Precision.MIXED, True),
+]
+
+
+def test_fig9_speedups(benchmark):
+    """The figure's bars: speedup over the MPE double-precision baseline
+    at the G6 grid size (one CG, 64 CPEs)."""
+    timer = KernelTimer()
+    g6 = TABLE2_GRIDS["G6"]
+    print_header(
+        "FIG 9 — Kernel accelerations over 64 CPEs (G6 grid, one CG)\n"
+        "speedup vs MPE double-precision baseline"
+    )
+    print(f"{'kernel':38s}" + "".join(f"{v[0]:>9s}" for v in VARIANTS))
+    results = {}
+    for name, reg in MAJOR_KERNELS.items():
+        n = (g6.cells if reg.element == "cell" else g6.edges) * g6.nlev
+        row = [
+            timer.speedup_vs_mpe_dp(reg.spec, n, prec, dst)
+            for _, prec, dst in VARIANTS
+        ]
+        results[name] = row
+        print(f"{name:38s}" + "".join(f"{s:9.1f}" for s in row))
+    print("\n(AE appendix: 'an acceleration ratio of about 20-70x ... for "
+          "major kernels' with MIX+DST)")
+
+    # Shape assertions matching the paper's discussion:
+    # - flux limiter & compute_rrr: clear MIX and DST gains.
+    for k in ("tracer_transport_hori_flux_limiter", "compute_rrr"):
+        dp, dp_dst, mix, mix_dst = results[k]
+        assert dp_dst > dp and mix_dst > mix and mix_dst > dp_dst
+    # - primal_normal_flux_edge: significant mixed precision speedup.
+    dp, _, mix, _ = results["primal_normal_flux_edge"]
+    assert mix > 1.4 * dp
+    # - calc_coriolis_term: minimal benefit from MIX and DST.
+    row = results["calc_coriolis_term"]
+    assert max(row) / min(row) < 1.05
+    # - optimised variants land in the 20-70x band for the major kernels.
+    for k in ("tracer_transport_hori_flux_limiter", "compute_rrr",
+              "primal_normal_flux_edge"):
+        assert 15.0 < results[k][3] < 80.0
+
+    benchmark(
+        timer.speedup_vs_mpe_dp,
+        MAJOR_KERNELS["compute_rrr"].spec, 10**6, Precision.MIXED, True,
+    )
+
+
+def test_fig9_cache_mechanism_measured(benchmark):
+    """The Fig. 6 mechanism behind the DST bars, on the real simulator."""
+    print_header("FIG 9 cross-check — LDCache hit ratios (cache simulator)")
+
+    def measure():
+        out = {}
+        for k_arrays in (4, 6, 9):
+            a = PoolAllocator(distribute=False)
+            aligned = [a.malloc(40 * 1024) for _ in range(k_arrays)]
+            d = PoolAllocator(distribute=True)
+            distributed = [d.malloc(40 * 1024) for _ in range(k_arrays)]
+            out[k_arrays] = (
+                loop_hit_ratio(aligned, 1500),
+                loop_hit_ratio(distributed, 1500),
+            )
+        return out
+
+    out = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"{'#arrays':>8s} {'aligned':>9s} {'distributed':>12s}")
+    for k, (ha, hd) in out.items():
+        print(f"{k:8d} {ha:9.3f} {hd:12.3f}")
+    assert out[6][0] < 0.1 < out[6][1]
+    assert out[4][0] > 0.9          # <= 4 ways: no thrash even aligned
+
+
+def test_fig9_real_kernel_execution(benchmark, mesh_g3):
+    """Wall-clock of the real NumPy kernels on a G3 mesh (sanity that
+    the registered callables are real compute, not stubs)."""
+    fields = sample_fields(mesh_g3, nlev=8)
+
+    def run_all():
+        return [reg.run(mesh_g3, fields) for reg in MAJOR_KERNELS.values()]
+
+    outs = benchmark(run_all)
+    print(f"\nexecuted {len(outs)} kernels on G3 x 8 levels; element counts:")
+    for name, reg in MAJOR_KERNELS.items():
+        print(f"  {name:40s} {n_elements(mesh_g3, reg, 8):>8d}")
+    assert all(np.isfinite(o).all() for o in outs)

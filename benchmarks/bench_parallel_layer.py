@@ -1,0 +1,87 @@
+"""Parallelization-facilitation-layer benchmarks (section 3.1.3).
+
+* distributed-vs-serial equivalence and the measured communication
+  pattern of the real decomposed run;
+* the parallel-efficiency context of the paper's CPU-era claim
+  ("approximately 83% parallel efficiency scaling from 1920 to 30720
+  CPU cores"), evaluated through surface-to-volume halo growth.
+"""
+
+import numpy as np
+
+from benchmarks._util import print_header
+from repro.dycore.solver import DycoreConfig, DynamicalCore
+from repro.dycore.state import solid_body_rotation_state
+from repro.dycore.vertical import VerticalCoordinate
+from repro.grid import build_mesh
+from repro.parallel import DistributedDycore
+from repro.partition.decomposition import decompose, decomposition_stats
+
+
+def test_distributed_equivalence_and_comm(benchmark, mesh_g3):
+    vc = VerticalCoordinate.uniform(6)
+    st0 = solid_body_rotation_state(mesh_g3, vc)
+    serial = DynamicalCore(mesh_g3, vc, DycoreConfig(dt=600.0))
+    s = st0.copy()
+    for _ in range(4):
+        s = serial.step(s)
+
+    dist = DistributedDycore(mesh_g3, vc, DycoreConfig(dt=600.0), nparts=6)
+    dist.scatter(st0)
+    benchmark.pedantic(dist.run, args=(4,), rounds=1, iterations=1)
+    ps, u, theta = dist.gather()
+
+    print_header("PARALLEL LAYER — distributed execution (section 3.1.3)")
+    exact = np.array_equal(ps, s.ps) and np.array_equal(u, s.u)
+    print(f"6 ranks x 4 steps on G3: bitwise identical to serial = {exact}")
+    cs = dist.comm_stats()
+    print(f"communication: {cs['messages']} messages, {cs['bytes'] / 1e3:.0f} KB, "
+          f"{cs['messages_per_exchange']} per aggregated exchange")
+    assert exact
+
+
+def test_halo_surface_to_volume(benchmark, mesh_g3):
+    """The halo fraction grows like P^0.5 — the geometry behind every
+    parallel-efficiency figure in the paper."""
+    def sweep():
+        rows = []
+        for nparts in (2, 4, 8, 16):
+            subs = decompose(mesh_g3, nparts, seed=0)
+            stats = decomposition_stats(subs)
+            rows.append((nparts, stats["mean_owned"], stats["mean_halo"],
+                         stats["mean_halo"] / stats["mean_owned"]))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_header("PARALLEL LAYER — halo fraction vs rank count")
+    print(f"{'ranks':>6s} {'owned':>8s} {'halo':>7s} {'halo/owned':>11s}")
+    for nparts, owned, halo, frac in rows:
+        print(f"{nparts:6d} {owned:8.0f} {halo:7.0f} {frac:11.3f}")
+    fracs = [r[3] for r in rows]
+    assert all(b > a for a, b in zip(fracs, fracs[1:]))
+    # sqrt scaling: 8x the ranks ~ sqrt(8) = 2.8x the fraction (the
+    # small G3 domains overshoot slightly once patches get tiny).
+    assert 1.8 < fracs[-1] / fracs[0] < 6.0
+
+
+def test_cpu_era_parallel_efficiency_claim(benchmark):
+    """Section 3.1.3: '~83% parallel efficiency scaling from 1920 to
+    30720 CPU cores'.  Evaluate the same 16x strong-scaling window with
+    the communication model (per-process compute + halo exchange)."""
+    from repro.model.config import TABLE2_GRIDS, TABLE3_SCHEMES
+    from repro.perf.model import PerformanceModel
+
+    def measure():
+        model = PerformanceModel()
+        grid = TABLE2_GRIDS["G9"]       # the CPU-era 10 km class
+        scheme = TABLE3_SCHEMES["DP-PHY"]
+        lo, hi = 128, 2048              # a 16x window, CG-count analogue
+        s_lo = model.sdpd(grid, scheme, lo)
+        s_hi = model.sdpd(grid, scheme, hi)
+        return (s_hi / hi) / (s_lo / lo)
+
+    eff = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_header("PARALLEL LAYER — 16x strong-scaling window efficiency")
+    print(f"parallel efficiency over a 16x process increase: {eff:.2f} "
+          "(paper's CPU-era figure: ~0.83)")
+    assert 0.6 < eff <= 1.0

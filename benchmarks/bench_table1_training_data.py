@@ -1,0 +1,41 @@
+"""Table 1: selected time periods and climate characteristics.
+
+Regenerates the training-period table and benchmarks synthetic GSRM
+archive generation (one hour of the G2 model with snapshot extraction).
+"""
+
+import numpy as np
+
+from benchmarks._util import print_header
+from repro.ml.data import TABLE1_PERIODS, generate_archive, period_sst
+
+
+def test_table1_periods(benchmark, mesh_g2, vcoord8):
+    print_header("TABLE 1 — Selected time periods and climate characteristics")
+    print(f"{'Time period':>22s} {'ONI':>14s} {'RMM index range':>18s}")
+    for p in TABLE1_PERIODS:
+        print(f"{p.time_period:>22s} {p.oni:5.1f} ({p.enso_phase:8s}) "
+              f"{p.rmm_range[0]:5.2f} to {p.rmm_range[1]:<5.2f}")
+    print("\nSST anomaly check (Nino3.4 region):")
+    lon = np.mod(mesh_g2.cell_lon + np.pi, 2 * np.pi) - np.pi
+    nino34 = (np.abs(mesh_g2.cell_lat) < np.deg2rad(5)) & (
+        np.abs(lon - np.deg2rad(-120)) < np.deg2rad(25)
+    )
+    for p in TABLE1_PERIODS:
+        sst = period_sst(mesh_g2, p)
+        print(f"  {p.name}: Nino3.4 mean SST = {sst[nino34].mean() - 273.15:.2f} C")
+
+    snaps = benchmark(
+        generate_archive, mesh_g2, vcoord8, TABLE1_PERIODS[0], 1, 0.25
+    )
+    assert len(snaps) == 1
+
+
+def test_split_protocol_ratio(benchmark):
+    """The paper's 7:1 train/test ratio from 3 random test steps/day."""
+    from repro.ml.training import train_test_split_by_day
+
+    tr, te = benchmark(train_test_split_by_day, 480, 24, 3, 0)
+    print(f"\nsplit: {tr.size} train / {te.size} test = {tr.size / te.size:.1f}:1 "
+          "(paper: 7:1)")
+    assert tr.size / te.size == 7.0

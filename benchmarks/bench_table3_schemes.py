@@ -1,0 +1,78 @@
+"""Table 3: the four scheme configurations, each actually executed.
+
+Runs DP-PHY / DP-ML / MIX-PHY / MIX-ML on the laptop grid (the ML
+schemes with a quickly-trained suite) and reports per-step wall time and
+stability — the miniature of the paper's scheme matrix.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks._util import print_header
+from repro.dycore.state import tropical_profile_state
+from repro.model.config import TABLE3_SCHEMES, scaled_grid_config
+from repro.model.grist import GristModel
+
+
+@pytest.fixture(scope="module")
+def trained(mesh_g2_module, vcoord8_module):
+    from repro.experiments.workflow import train_ml_suite
+    from repro.ml.data import TABLE1_PERIODS
+
+    return train_ml_suite(
+        mesh_g2_module, vcoord8_module, periods=TABLE1_PERIODS[:1],
+        hours_per_period=4, epochs=2, width=12, n_resunits=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def mesh_g2_module():
+    from repro.grid import build_mesh
+
+    return build_mesh(2)
+
+
+@pytest.fixture(scope="module")
+def vcoord8_module():
+    from repro.dycore.vertical import VerticalCoordinate
+
+    return VerticalCoordinate.stretched(8)
+
+
+def test_table3_all_schemes(benchmark, mesh_g2_module, vcoord8_module, trained):
+    mesh, vc = mesh_g2_module, vcoord8_module
+    gc = scaled_grid_config(2, vc.nlev)
+    print_header("TABLE 3 — Scheme configurations (all four executed)")
+    print(f"{'Label':8s} {'Dycore':>16s} {'Physics':>14s} "
+          f"{'ms/step':>9s} {'stable':>7s}")
+    rows = {}
+    for label, scheme in TABLE3_SCHEMES.items():
+        suite = trained.suite if scheme.ml_physics else None
+        if suite is not None:
+            suite.config.dt_physics = gc.dt_physics
+        model = GristModel(
+            mesh, vc, gc, scheme,
+            surface=None if suite is None else suite.surface,
+            physics_suite=suite,
+        )
+        st = tropical_profile_state(mesh, vc)
+        n = gc.physics_ratio * 2
+        t0 = time.perf_counter()
+        st = model.run(st, n)
+        dt_ms = (time.perf_counter() - t0) / n * 1000.0
+        stable = bool(np.isfinite(st.theta).all())
+        rows[label] = dt_ms
+        dy = "mixed precision" if scheme.mixed_precision else "double precision"
+        ph = "ML-physics" if scheme.ml_physics else "Conventional"
+        print(f"{label:8s} {dy:>16s} {ph:>14s} {dt_ms:9.2f} {str(stable):>7s}")
+        assert stable
+
+    # Benchmark the MIX-ML configuration (the paper's headline scheme).
+    model = GristModel(
+        mesh, vc, gc, TABLE3_SCHEMES["MIX-ML"],
+        surface=trained.suite.surface, physics_suite=trained.suite,
+    )
+    st = tropical_profile_state(mesh, vc)
+    benchmark(model.run, st, 2)

@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+evaluation section: it prints the same rows/series the paper reports
+(captured into ``bench_output.txt`` by the run script) and uses
+pytest-benchmark to time the computational core it exercises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dycore.vertical import VerticalCoordinate
+from repro.grid import build_mesh
+
+
+@pytest.fixture(scope="session")
+def mesh_g2():
+    return build_mesh(2)
+
+
+@pytest.fixture(scope="session")
+def mesh_g3():
+    return build_mesh(3)
+
+
+@pytest.fixture(scope="session")
+def vcoord8():
+    return VerticalCoordinate.stretched(8)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

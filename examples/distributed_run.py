@@ -1,0 +1,63 @@
+"""Run the dycore decomposed across simulated MPI ranks and verify the
+result against the serial solver — the parallelization facilitation
+layer (section 3.1.3) executing for real.
+
+Run:  python examples/distributed_run.py     (~20 s)
+"""
+
+import numpy as np
+
+from repro.dycore.solver import DycoreConfig, DynamicalCore
+from repro.dycore.state import baroclinic_wave_state
+from repro.dycore.vertical import VerticalCoordinate
+from repro.grid import build_mesh
+from repro.parallel import DistributedDycore
+from repro.partition.decomposition import decomposition_stats, decompose
+
+
+def main() -> None:
+    mesh = build_mesh(3)
+    vcoord = VerticalCoordinate.uniform(6)
+    nparts = 6
+    print(f"mesh: {mesh.nc} cells; decomposing into {nparts} ranks "
+          "with the multilevel partitioner...")
+    subs = decompose(mesh, nparts, seed=0)
+    stats = decomposition_stats(subs)
+    print(f"  balance {stats['imbalance']:.3f}, mean halo "
+          f"{stats['mean_halo']:.0f} cells, "
+          f"{stats['mean_neighbors']:.1f} neighbours/rank")
+
+    state0 = baroclinic_wave_state(mesh, vcoord)
+    config = DycoreConfig(dt=450.0)
+    steps = 8
+
+    print(f"\nserial reference: {steps} steps...")
+    serial = DynamicalCore(mesh, vcoord, config)
+    s = state0.copy()
+    for _ in range(steps):
+        s = serial.step(s)
+
+    print(f"distributed: same {steps} steps on {nparts} ranks with "
+          "aggregated halo exchanges...")
+    dist = DistributedDycore(mesh, vcoord, config, nparts=nparts)
+    dist.scatter(state0)
+    dist.run(steps)
+    ps, u, theta = dist.gather()
+
+    print("\nowned-entity differences vs serial:")
+    print(f"  ps:    {np.abs(ps - s.ps).max():.3e} Pa")
+    print(f"  u:     {np.abs(u - s.u).max():.3e} m/s")
+    print(f"  theta: {np.abs(theta - s.theta).max():.3e} K")
+    exact = (np.array_equal(ps, s.ps) and np.array_equal(u, s.u)
+             and np.array_equal(theta, s.theta))
+    print(f"  bitwise identical: {exact}")
+
+    cs = dist.comm_stats()
+    print(f"\ncommunication: {cs['messages']} messages, "
+          f"{cs['bytes'] / 1e6:.2f} MB total "
+          f"({cs['messages_per_exchange']} msgs per aggregated exchange "
+          "-- one per neighbour pair regardless of variable count)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Validate the mixed-precision dycore against the 5% criterion
+(paper section 3.4): run the same case in DP and MIX, track the relative
+L2 deviation of surface pressure and relative vorticity.
+
+Run:  python examples/mixed_precision_validation.py   (~20 s)
+"""
+
+import numpy as np
+
+from repro.dycore.solver import DycoreConfig, DynamicalCore
+from repro.dycore.state import baroclinic_wave_state, solid_body_rotation_state
+from repro.dycore.vertical import VerticalCoordinate
+from repro.grid import build_mesh
+from repro.precision.analysis import DeviationTracker
+from repro.precision.policy import PrecisionPolicy
+
+
+def run_case(name, make_state, mesh, vcoord, hours=6.0, dt=600.0):
+    st0 = make_state(mesh, vcoord)
+    dp = DynamicalCore(mesh, vcoord, DycoreConfig(dt=dt))
+    mx = DynamicalCore(
+        mesh, vcoord, DycoreConfig(dt=dt, policy=PrecisionPolicy(mixed=True))
+    )
+    s_dp, s_mx = st0.copy(), st0.copy()
+    tracker = DeviationTracker()
+    steps = int(hours * 3600 / dt)
+    check_every = max(1, steps // 6)
+    for k in range(steps):
+        s_dp = dp.step(s_dp)
+        s_mx = mx.step(s_mx)
+        if (k + 1) % check_every == 0:
+            d1, d2 = dp.diagnostics(s_dp), mx.diagnostics(s_mx)
+            tracker.record(d2["ps"], d1["ps"], d2["vor"], d1["vor"])
+    s = tracker.summary()
+    flag = "PASS" if s["passes"] else "FAIL"
+    print(f"  {name:22s} max ps dev {s['max_ps_deviation']:.2e}  "
+          f"max vor dev {s['max_vor_deviation']:.2e}  [{flag}]")
+    return s
+
+
+def main() -> None:
+    mesh = build_mesh(3)
+    vcoord = VerticalCoordinate.uniform(8)
+    policy = PrecisionPolicy(mixed=True)
+
+    print("Mixed-precision configuration (the 'ns' kind = float32):")
+    print(f"  terms demoted to FP32: {len(policy.demoted_terms())}"
+          f" of {len(policy.sensitivity)}")
+    for t in policy.demoted_terms():
+        print(f"    - {t}")
+    print("  pinned to FP64: pressure gradient, gravity/implicit solve,")
+    print("                  mass-flux accumulation (section 3.4.2)\n")
+
+    print(f"hierarchy of tests (threshold {DeviationTracker().threshold:.0%}):")
+    run_case("solid-body rotation", solid_body_rotation_state, mesh, vcoord)
+    run_case("baroclinic wave", baroclinic_wave_state, mesh, vcoord)
+
+    print("\n(the paper: 'The stability and accuracy of the mixed-precision "
+          "code remain robust in all the tests.')")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Reproduce the paper's scaling figures (Figs. 10, 11) and the headline
+34-million-core numbers from the machine model.
+
+The actual hardware — 524,288 core groups of the next-generation Sunway
+— is simulated: per-CG computation comes from the kernel timing model
+(LDCache + roofline), communication from the 16:3-oversubscribed
+fat-tree model.  See DESIGN.md for the calibration story.
+
+Run:  python examples/scaling_study.py          (seconds)
+"""
+
+from repro.perf.scaling import (
+    headline_numbers,
+    strong_scaling_experiment,
+    weak_scaling_experiment,
+)
+
+
+def main() -> None:
+    print("Weak scaling (Fig. 10): constant ~320 cells per core group")
+    print("-" * 66)
+    weak = weak_scaling_experiment()
+    for scheme, pts in weak.items():
+        print(f"\n  {scheme}:")
+        for p in pts:
+            bar = "#" * int(40 * p.efficiency)
+            print(f"    {p.grid_label:>5s} @ {p.nprocs:>7,d} CGs  "
+                  f"SDPD {p.sdpd:7.1f}  eff {p.efficiency:4.2f} {bar}")
+            if p.nprocs == 32768:
+                print("          ^ the 32,768-CG drop (fat-tree oversubscription)")
+
+    print("\n\nStrong scaling (Fig. 11): fixed global grids")
+    print("-" * 66)
+    strong = strong_scaling_experiment()
+    for (grid, scheme), pts in strong.items():
+        series = " -> ".join(f"{p.sdpd:.0f}" for p in pts)
+        print(f"  {grid:5s} {scheme:8s}: {series}  SDPD "
+              f"(32k -> 512k CGs)")
+
+    print("\n\nHeadline numbers at 524,288 CGs = 34,078,720 cores")
+    print("-" * 66)
+    h = headline_numbers()
+    print(f"  1 km (G12):  {h['G12_sdpd']:6.1f} SDPD = {h['G12_sypd']:.2f} SYPD"
+          f"   [paper: 181 SDPD / 0.5 SYPD]")
+    print(f"  3 km (G11S): {h['G11S_sdpd']:6.1f} SDPD = {h['G11S_sypd']:.2f} SYPD"
+          f"   [paper: 491 SDPD / 1.35 SYPD]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the example scripts so the headline experiments run
+without writing any Python:
+
+* ``simulate``  — integrate the coupled model and write history/restart;
+* ``doksuri``   — the Fig. 7 resolution comparison;
+* ``scaling``   — Figs. 10/11 + headline SYPD from the machine model;
+* ``kernels``   — the Fig. 9 kernel speedup table;
+* ``train-ml``  — the section 3.2 training workflow;
+* ``grids``     — print Table 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_grids(args) -> int:
+    from repro.model.config import TABLE2_GRIDS
+
+    print(f"{'label':6s} {'cells':>12s} {'edges':>12s} {'vertices':>12s} "
+          f"{'res km':>16s}")
+    for label, g in TABLE2_GRIDS.items():
+        lo, hi = g.resolution_km
+        print(f"{label:6s} {g.cells:12,d} {g.edges:12,d} {g.vertices:12,d} "
+              f"{lo:7.2f}~{hi:<7.2f}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    import numpy as np
+
+    from repro.dycore.state import tropical_profile_state
+    from repro.dycore.vertical import VerticalCoordinate
+    from repro.grid import build_mesh
+    from repro.model import GristModel, TABLE3_SCHEMES, scaled_grid_config
+    from repro.model.io import HistoryWriter, save_state
+
+    mesh = build_mesh(args.level)
+    vc = VerticalCoordinate.stretched(args.nlev)
+    gc = scaled_grid_config(args.level, args.nlev)
+    model = GristModel(mesh, vc, gc, TABLE3_SCHEMES[args.scheme])
+    state = tropical_profile_state(mesh, vc, rh_surface=0.85)
+    rng = np.random.default_rng(args.seed)
+    state.theta = state.theta + 0.3 * rng.normal(size=state.theta.shape)
+
+    writer = HistoryWriter(args.out) if args.out else None
+    chunk = max(1.0, args.hours / 8.0)
+    done = 0.0
+    while done < args.hours:
+        step = min(chunk, args.hours - done)
+        state = model.run_hours(state, step)
+        done += step
+        precip = (
+            model.history.mean_precip().mean() * 86400.0
+            if model.history.precip else 0.0
+        )
+        print(f"  t = {state.time / 3600.0:7.1f} h   "
+              f"max wind {np.abs(state.u).max():5.1f} m/s   "
+              f"mean precip {precip:6.2f} mm/day")
+        if writer is not None:
+            writer.record(
+                state.time,
+                ps_mean=float(state.ps.mean()),
+                max_wind=float(np.abs(state.u).max()),
+                precip_mm_day=precip,
+            )
+    if writer is not None:
+        path = writer.flush()
+        print(f"history written to {path}")
+    if args.restart:
+        save_state(args.restart, state)
+        print(f"restart written to {args.restart}")
+    return 0
+
+
+def _cmd_doksuri(args) -> int:
+    from repro.experiments.doksuri import resolution_comparison
+
+    res = resolution_comparison(
+        low_level=args.low, high_level=args.high, ref_level=args.ref,
+        nlev=args.nlev, hours=args.hours,
+    )
+    print(f"correlation vs reference: low r={res['corr_low']:.3f}, "
+          f"high r={res['corr_high']:.3f}")
+    print("higher horizontal resolution wins:",
+          res["corr_high"] > res["corr_low"])
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    from repro.perf.scaling import (
+        headline_numbers,
+        strong_scaling_experiment,
+        weak_scaling_experiment,
+    )
+
+    for scheme, pts in weak_scaling_experiment().items():
+        print(f"weak {scheme}: " + ", ".join(
+            f"{p.nprocs}:{p.sdpd:.0f}sdpd/{p.efficiency:.2f}" for p in pts))
+    for (grid, scheme), pts in strong_scaling_experiment().items():
+        print(f"strong {grid}/{scheme}: " + " -> ".join(
+            f"{p.sdpd:.0f}" for p in pts))
+    h = headline_numbers()
+    print(f"headline: G12 {h['G12_sdpd']:.1f} SDPD ({h['G12_sypd']:.2f} SYPD), "
+          f"G11S {h['G11S_sdpd']:.1f} SDPD ({h['G11S_sypd']:.2f} SYPD)")
+    return 0
+
+
+def _cmd_kernels(args) -> int:
+    from repro.dycore.kernels import MAJOR_KERNELS
+    from repro.model.config import TABLE2_GRIDS
+    from repro.sunway.kernel import KernelTimer, Precision
+
+    timer = KernelTimer()
+    g = TABLE2_GRIDS[args.grid]
+    variants = [("DP", Precision.DP, False), ("DP+DST", Precision.DP, True),
+                ("MIX", Precision.MIXED, False), ("MIX+DST", Precision.MIXED, True)]
+    print(f"{'kernel':38s}" + "".join(f"{v[0]:>9s}" for v in variants))
+    for name, reg in MAJOR_KERNELS.items():
+        n = (g.cells if reg.element == "cell" else g.edges) * g.nlev
+        row = "".join(
+            f"{timer.speedup_vs_mpe_dp(reg.spec, n, prec, dst):9.1f}"
+            for _, prec, dst in variants
+        )
+        print(f"{name:38s}{row}")
+    return 0
+
+
+def _cmd_train_ml(args) -> int:
+    from repro.dycore.vertical import VerticalCoordinate
+    from repro.experiments.workflow import train_ml_suite
+    from repro.grid import build_mesh
+    from repro.ml.data import TABLE1_PERIODS
+
+    mesh = build_mesh(args.level)
+    vc = VerticalCoordinate.stretched(args.nlev)
+    trained = train_ml_suite(
+        mesh, vc, periods=TABLE1_PERIODS[: args.periods],
+        hours_per_period=args.hours, epochs=args.epochs,
+        width=args.width, n_resunits=args.resunits,
+    )
+    print(f"trained on {trained.n_train} columns "
+          f"({trained.n_train / max(trained.n_test, 1):.1f}:1 split)")
+    print(f"tendency net: {trained.tendency_net.n_params():,} params, "
+          f"test MSE {trained.tendency_test_mse:.4f}")
+    print(f"radiation net: {trained.radiation_net.n_params():,} params, "
+          f"test MSE {trained.radiation_test_mse:.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="AI-enhanced GRIST reproduction (PPoPP 2025)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sp = sub.add_parser("grids", help="print Table 2")
+    sp.set_defaults(func=_cmd_grids)
+
+    sp = sub.add_parser("simulate", help="run the coupled model")
+    sp.add_argument("--level", type=int, default=3)
+    sp.add_argument("--nlev", type=int, default=8)
+    sp.add_argument("--hours", type=float, default=24.0)
+    sp.add_argument("--scheme", default="DP-PHY",
+                    choices=["DP-PHY", "MIX-PHY"])
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--out", default=None, help="history output directory")
+    sp.add_argument("--restart", default=None, help="restart file to write")
+    sp.set_defaults(func=_cmd_simulate)
+
+    sp = sub.add_parser("doksuri", help="Fig. 7 resolution comparison")
+    sp.add_argument("--low", type=int, default=3)
+    sp.add_argument("--high", type=int, default=4)
+    sp.add_argument("--ref", type=int, default=5)
+    sp.add_argument("--nlev", type=int, default=8)
+    sp.add_argument("--hours", type=float, default=6.0)
+    sp.set_defaults(func=_cmd_doksuri)
+
+    sp = sub.add_parser("scaling", help="Figs. 10/11 + headline SYPD")
+    sp.set_defaults(func=_cmd_scaling)
+
+    sp = sub.add_parser("kernels", help="Fig. 9 kernel table")
+    sp.add_argument("--grid", default="G6")
+    sp.set_defaults(func=_cmd_kernels)
+
+    sp = sub.add_parser("train-ml", help="section 3.2 training workflow")
+    sp.add_argument("--level", type=int, default=2)
+    sp.add_argument("--nlev", type=int, default=8)
+    sp.add_argument("--periods", type=int, default=2)
+    sp.add_argument("--hours", type=int, default=6)
+    sp.add_argument("--epochs", type=int, default=4)
+    sp.add_argument("--width", type=int, default=16)
+    sp.add_argument("--resunits", type=int, default=2)
+    sp.set_defaults(func=_cmd_train_ml)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Parallelization facilitation layer (paper section 3.1.3).
+
+A simulated message-passing runtime standing in for MPI:
+
+* :mod:`repro.comm.message` — ranked processes exchanging NumPy buffers,
+  with message/byte accounting;
+* :mod:`repro.comm.halo` — aggregated halo exchange: many variables are
+  gathered (the paper uses a linked list) and shipped with a *single*
+  communication call per neighbour;
+* :mod:`repro.comm.topology` — the next-generation Sunway fat-tree
+  (256-node supernodes, 16:3 oversubscription) as an alpha-beta model;
+* :mod:`repro.comm.parallel_io` — grouped parallel I/O.
+"""
+
+from repro.comm.message import Communicator, CommStats
+from repro.comm.halo import HaloExchanger
+from repro.comm.topology import FatTreeTopology, SUNWAY_TOPOLOGY
+from repro.comm.parallel_io import GroupedIOWriter
+
+__all__ = [
+    "Communicator",
+    "CommStats",
+    "HaloExchanger",
+    "FatTreeTopology",
+    "SUNWAY_TOPOLOGY",
+    "GroupedIOWriter",
+]

@@ -1,0 +1,121 @@
+"""Aggregated halo exchange (paper section 3.1.3).
+
+    "To refine the granularity of data exchange and minimize inter-process
+    communications, a linked list is utilized to gather variables for
+    exchange, and a single call to the communication interface efficiently
+    completes the data exchange for all listed variables."
+
+:class:`HaloExchanger` reproduces exactly that: variables are *registered*
+(the linked-list gather), and :meth:`exchange` packs every registered
+variable for each neighbour into one contiguous buffer and ships it with a
+single message.  :meth:`exchange_unaggregated` is the baseline (one
+message per variable per neighbour) used by the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.message import Communicator
+from repro.partition.decomposition import Subdomain
+
+
+class HaloExchanger:
+    """Halo exchange across all ranks of a decomposition.
+
+    Each rank's variables are arrays with leading dimension
+    ``local_cells.size`` (owned cells first, then halo).  Trailing
+    dimensions (e.g. vertical levels) are allowed and packed flat.
+    """
+
+    def __init__(self, subdomains: list[Subdomain], comm: Communicator | None = None):
+        if comm is None:
+            comm = Communicator(len(subdomains))
+        if comm.size != len(subdomains):
+            raise ValueError("communicator size must match subdomain count")
+        self.subdomains = subdomains
+        self.comm = comm
+        # The "linked list": ordered registry of (name) -> per-rank arrays.
+        self._registry: dict[str, list[np.ndarray]] = {}
+
+    # -- variable registry (the linked-list gather) ------------------------
+    def register(self, name: str, per_rank_arrays: list[np.ndarray]) -> None:
+        """Add a distributed variable to the exchange list.
+
+        ``per_rank_arrays[r]`` must have shape ``(nloc_r, ...)`` where
+        ``nloc_r`` is rank r's total local cell count.
+        """
+        if len(per_rank_arrays) != len(self.subdomains):
+            raise ValueError("one array per rank required")
+        for sub, arr in zip(self.subdomains, per_rank_arrays):
+            if arr.shape[0] != sub.local_cells.size:
+                raise ValueError(
+                    f"rank {sub.rank}: leading dim {arr.shape[0]} != "
+                    f"local cell count {sub.local_cells.size}"
+                )
+        self._registry[name] = per_rank_arrays
+
+    def unregister(self, name: str) -> None:
+        self._registry.pop(name)
+
+    @property
+    def registered(self) -> list[str]:
+        return list(self._registry)
+
+    # -- exchanges ---------------------------------------------------------
+    def exchange(self) -> None:
+        """Aggregated exchange: ONE message per (rank, neighbour) pair."""
+        names = list(self._registry)
+        if not names:
+            return
+        # Phase 1: every rank packs and posts one buffer per neighbour.
+        for sub in self.subdomains:
+            for nbr, send_idx in sub.send_cells.items():
+                chunks = []
+                for name in names:
+                    arr = self._registry[name][sub.rank]
+                    chunks.append(arr[send_idx].reshape(send_idx.size, -1))
+                packed = np.concatenate(chunks, axis=1)
+                self.comm.send(sub.rank, nbr, packed, tag=0)
+        # Phase 2: every rank drains its receives and unpacks.
+        for sub in self.subdomains:
+            for nbr, recv_idx in sub.recv_cells.items():
+                packed = self.comm.recv(nbr, sub.rank, tag=0)
+                col = 0
+                for name in names:
+                    arr = self._registry[name][sub.rank]
+                    width = int(np.prod(arr.shape[1:], dtype=np.int64)) or 1
+                    block = packed[:, col: col + width]
+                    arr[recv_idx] = block.reshape((recv_idx.size,) + arr.shape[1:])
+                    col += width
+
+    def exchange_unaggregated(self) -> None:
+        """Baseline: one message per variable per neighbour (for ablation)."""
+        for name in list(self._registry):
+            for sub in self.subdomains:
+                for nbr, send_idx in sub.send_cells.items():
+                    arr = self._registry[name][sub.rank]
+                    self.comm.send(sub.rank, nbr, arr[send_idx], tag=hash(name) % 10000)
+            for sub in self.subdomains:
+                for nbr, recv_idx in sub.recv_cells.items():
+                    arr = self._registry[name][sub.rank]
+                    arr[recv_idx] = self.comm.recv(nbr, sub.rank, tag=hash(name) % 10000)
+
+    # -- helpers -------------------------------------------------------------
+    def scatter_global(self, name: str, global_array: np.ndarray, dtype=None) -> list[np.ndarray]:
+        """Distribute a global cell field and register it for exchange."""
+        per_rank = []
+        for sub in self.subdomains:
+            local = np.array(global_array[sub.local_cells], dtype=dtype, copy=True)
+            per_rank.append(local)
+        self.register(name, per_rank)
+        return per_rank
+
+    def gather_global(self, name: str, nc_global: int) -> np.ndarray:
+        """Reassemble a global field from owned portions (for verification)."""
+        arrays = self._registry[name]
+        sample = arrays[0]
+        out = np.empty((nc_global,) + sample.shape[1:], dtype=sample.dtype)
+        for sub, arr in zip(self.subdomains, arrays):
+            out[sub.local_cells[: sub.n_owned]] = arr[: sub.n_owned]
+        return out

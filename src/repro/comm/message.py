@@ -1,0 +1,113 @@
+"""Simulated ranked message passing.
+
+All ranks live in one Python process; the :class:`Communicator` provides
+buffer-based point-to-point and collective operations in the style of
+mpi4py's uppercase (buffer) API, plus accounting of message counts and
+bytes.  The accounting feeds the network model in
+:mod:`repro.comm.topology` and lets tests assert on the aggregation
+optimisation (one message per neighbour instead of one per variable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class CommStats:
+    """Message/byte counters for one communicator."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    collectives: int = 0
+    per_pair: dict = field(default_factory=dict)  # (src, dst) -> bytes
+
+    def record(self, src: int, dst: int, nbytes: int) -> None:
+        self.messages += 1
+        self.bytes_sent += nbytes
+        key = (src, dst)
+        self.per_pair[key] = self.per_pair.get(key, 0) + nbytes
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes_sent = 0
+        self.collectives = 0
+        self.per_pair.clear()
+
+
+class Communicator:
+    """An in-process stand-in for ``MPI_COMM_WORLD``.
+
+    Because every rank shares the process, "communication" is a copy
+    between per-rank mailboxes executed when both sides have posted.
+    The API is deliberately synchronous-bulk: the model's halo exchange
+    posts all sends then drains all receives, matching the paper's
+    single-call aggregated exchange.
+    """
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("communicator size must be >= 1")
+        self._size = size
+        self._mailbox: dict[tuple[int, int, int], np.ndarray] = {}
+        self.stats = CommStats()
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self._size):
+            raise ValueError(f"rank {rank} out of range [0, {self._size})")
+
+    # -- point to point ---------------------------------------------------
+    def send(self, src: int, dst: int, buf: np.ndarray, tag: int = 0) -> None:
+        """Post a buffer from ``src`` to ``dst``; delivered on ``recv``."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        key = (src, dst, tag)
+        if key in self._mailbox:
+            raise RuntimeError(f"unreceived message already pending for {key}")
+        self._mailbox[key] = np.array(buf, copy=True)
+        self.stats.record(src, dst, self._mailbox[key].nbytes)
+
+    def recv(self, src: int, dst: int, tag: int = 0) -> np.ndarray:
+        """Receive the buffer posted by ``src`` for ``dst``."""
+        key = (src, dst, tag)
+        if key not in self._mailbox:
+            raise RuntimeError(f"recv before matching send: {key}")
+        return self._mailbox.pop(key)
+
+    def pending(self) -> int:
+        """Number of posted-but-unreceived messages (0 after a clean step)."""
+        return len(self._mailbox)
+
+    # -- collectives ------------------------------------------------------
+    def allreduce_sum(self, values: list[np.ndarray | float]) -> np.ndarray | float:
+        """Sum contribution of every rank; all ranks get the result."""
+        if len(values) != self._size:
+            raise ValueError("one contribution per rank required")
+        self.stats.collectives += 1
+        total = values[0]
+        for v in values[1:]:
+            total = total + v
+        return total
+
+    def allreduce_max(self, values: list[float]) -> float:
+        if len(values) != self._size:
+            raise ValueError("one contribution per rank required")
+        self.stats.collectives += 1
+        return max(values)
+
+    def gather(self, values: list[np.ndarray], root: int = 0) -> list[np.ndarray]:
+        """Gather per-rank buffers at the root (returned as a list)."""
+        self._check_rank(root)
+        if len(values) != self._size:
+            raise ValueError("one contribution per rank required")
+        self.stats.collectives += 1
+        for r, v in enumerate(values):
+            if r != root:
+                self.stats.record(r, root, np.asarray(v).nbytes)
+        return [np.array(v, copy=True) for v in values]

@@ -1,0 +1,105 @@
+"""Grouped parallel I/O (paper section 3.1.3).
+
+    "a grouped parallel I/O strategy was designed and implemented to
+    ensure efficient data I/O across a large number of MPI processes."
+
+Rather than every rank opening the output store (which scales terribly
+with hundreds of thousands of processes), ranks are organised into groups;
+each group elects a leader that gathers the group's owned data and
+performs one write.  :class:`GroupedIOWriter` implements exactly that over
+the simulated communicator, writing real ``.npz`` shards to disk, and
+accounts for how many writers touched the filesystem.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.comm.message import Communicator
+from repro.partition.decomposition import Subdomain
+
+
+class GroupedIOWriter:
+    """Write distributed cell fields through group-leader aggregation."""
+
+    def __init__(
+        self,
+        subdomains: list[Subdomain],
+        out_dir: str,
+        group_size: int = 8,
+        comm: Communicator | None = None,
+    ):
+        if group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        self.subdomains = subdomains
+        self.out_dir = out_dir
+        self.group_size = group_size
+        self.comm = comm or Communicator(len(subdomains))
+        self.write_count = 0
+        os.makedirs(out_dir, exist_ok=True)
+
+    @property
+    def n_groups(self) -> int:
+        n = len(self.subdomains)
+        return (n + self.group_size - 1) // self.group_size
+
+    def group_of(self, rank: int) -> int:
+        return rank // self.group_size
+
+    def leader_of(self, group: int) -> int:
+        return group * self.group_size
+
+    def write(self, name: str, per_rank_arrays: list[np.ndarray]) -> list[str]:
+        """Write one distributed field; returns the shard paths written.
+
+        ``per_rank_arrays[r]`` holds rank r's *owned* values (leading dim
+        ``n_owned``) or full local arrays (halo is stripped automatically).
+        """
+        if len(per_rank_arrays) != len(self.subdomains):
+            raise ValueError("one array per rank required")
+        paths = []
+        for g in range(self.n_groups):
+            leader = self.leader_of(g)
+            members = range(
+                g * self.group_size,
+                min((g + 1) * self.group_size, len(self.subdomains)),
+            )
+            ids_parts, data_parts = [], []
+            for r in members:
+                sub = self.subdomains[r]
+                arr = per_rank_arrays[r][: sub.n_owned]
+                if r != leader:
+                    # Gather at the leader through the communicator so the
+                    # message accounting reflects the aggregation pattern.
+                    self.comm.send(r, leader, arr, tag=1)
+                    arr = self.comm.recv(r, leader, tag=1)
+                ids_parts.append(sub.local_cells[: sub.n_owned])
+                data_parts.append(arr)
+            shard = os.path.join(self.out_dir, f"{name}.group{g:04d}.npz")
+            np.savez(
+                shard,
+                cell_ids=np.concatenate(ids_parts),
+                data=np.concatenate(data_parts),
+            )
+            self.write_count += 1
+            paths.append(shard)
+        return paths
+
+    @staticmethod
+    def read_global(paths: list[str], nc_global: int) -> np.ndarray:
+        """Reassemble a global field from shards (for verification)."""
+        first = np.load(paths[0])
+        sample = first["data"]
+        out = np.empty((nc_global,) + sample.shape[1:], dtype=sample.dtype)
+        seen = np.zeros(nc_global, dtype=bool)
+        for p in paths:
+            with np.load(p) as f:
+                ids = f["cell_ids"]
+                out[ids] = f["data"]
+                seen[ids] = True
+        if not seen.all():
+            missing = int((~seen).sum())
+            raise ValueError(f"{missing} cells missing from shards")
+        return out

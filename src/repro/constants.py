@@ -1,0 +1,55 @@
+"""Physical and planetary constants shared across the model.
+
+Values follow the conventions of the GRIST model family (dry-air based
+thermodynamics, spherical Earth).  All units are SI unless stated.
+"""
+
+from __future__ import annotations
+
+#: Mean Earth radius [m].
+EARTH_RADIUS = 6.371e6
+
+#: Gravitational acceleration [m s^-2].
+GRAVITY = 9.80616
+
+#: Earth's angular velocity [rad s^-1].
+OMEGA = 7.292e-5
+
+#: Gas constant for dry air [J kg^-1 K^-1].
+R_DRY = 287.04
+
+#: Gas constant for water vapour [J kg^-1 K^-1].
+R_VAPOUR = 461.5
+
+#: Specific heat of dry air at constant pressure [J kg^-1 K^-1].
+CP_DRY = 1004.64
+
+#: Specific heat of dry air at constant volume [J kg^-1 K^-1].
+CV_DRY = CP_DRY - R_DRY
+
+#: Reference pressure for Exner function / potential temperature [Pa].
+P0 = 1.0e5
+
+#: Kappa = R_d / c_p.
+KAPPA = R_DRY / CP_DRY
+
+#: Latent heat of vaporisation [J kg^-1].
+LATENT_HEAT_VAP = 2.501e6
+
+#: Stefan-Boltzmann constant [W m^-2 K^-4].
+STEFAN_BOLTZMANN = 5.670374419e-8
+
+#: Solar constant [W m^-2].
+SOLAR_CONSTANT = 1361.0
+
+#: Freezing point of water [K].
+T_FREEZE = 273.15
+
+#: Von Karman constant (surface layer similarity).
+VON_KARMAN = 0.4
+
+#: Density of liquid water [kg m^-3].
+RHO_WATER = 1000.0
+
+#: Seconds per day.
+SECONDS_PER_DAY = 86400.0

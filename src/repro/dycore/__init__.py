@@ -1,0 +1,35 @@
+"""The GRIST-style layer-averaged nonhydrostatic dynamical core.
+
+A staggered finite-volume core (approximately second order) on the
+unstructured hexagonal C-grid of :mod:`repro.grid`:
+
+* mass-point prognostics (dry-air mass, potential temperature, tracers)
+  at cells, normal velocity at edges, relative vorticity at vertices;
+* horizontally explicit / vertically implicit (HEVI) time stepping —
+  the vertical acoustic w–phi coupling is solved with a per-column
+  tridiagonal solve, vectorised over all columns;
+* flux-limited tracer transport on a longer tracer timestep, fed by
+  mass fluxes accumulated (in double precision) from the dynamics steps;
+* a precision policy hook so the same code runs the DP and MIX
+  configurations of Table 3.
+
+The kernels named in the paper's Fig. 9 (``primal_normal_flux_edge``,
+``calc_coriolis_term``, ``compute_rrr``,
+``tracer_transport_hori_flux_limiter``) exist here as real, testable
+functions and are registered with Sunway cost descriptions in
+:mod:`repro.dycore.kernels`.
+"""
+
+from repro.dycore.vertical import VerticalCoordinate
+from repro.dycore.state import ModelState, isothermal_rest_state, solid_body_rotation_state, baroclinic_wave_state
+from repro.dycore.solver import DynamicalCore, DycoreConfig
+
+__all__ = [
+    "VerticalCoordinate",
+    "ModelState",
+    "isothermal_rest_state",
+    "solid_body_rotation_state",
+    "baroclinic_wave_state",
+    "DynamicalCore",
+    "DycoreConfig",
+]

@@ -1,0 +1,163 @@
+"""Named kernel registry: Fig. 9's major kernels with Sunway cost specs.
+
+Each entry pairs a *real* callable from the dycore with a
+:class:`~repro.sunway.kernel.KernelSpec` describing its per-element work,
+so the Fig. 9 benchmark can (a) execute the kernel on a real mesh and
+(b) evaluate its simulated MPE/CPE timing under the four optimisation
+variants (DP / DP+DST / MIX / MIX+DST).
+
+Array counts were taken by reading each kernel's implementation (the
+same way the paper's authors counted arrays per loop to diagnose
+LDCache thrashing); flop counts are per (cell|edge, level) element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.dycore import operators as ops
+from repro.dycore import tendencies as tnd
+from repro.dycore.tracer import tracer_transport_hori_flux_limiter
+from repro.grid.mesh import Mesh
+from repro.sunway.kernel import KernelSpec
+
+
+@dataclass(frozen=True)
+class RegisteredKernel:
+    """A dycore kernel with its Sunway cost description."""
+
+    spec: KernelSpec
+    #: element kind the work scales with ("edge" or "cell")
+    element: str
+    #: run(mesh, fields) -> ndarray; exercises the real implementation
+    run: Callable
+
+
+def _run_flux_limiter(mesh: Mesh, f):
+    return tracer_transport_hori_flux_limiter(
+        mesh, f["q"], f["flux"], f["dpi"], f["dpi"], f["dt"]
+    )
+
+
+def _run_compute_rrr(mesh: Mesh, f):
+    return tnd.compute_rrr(mesh, f["dpi"], f["phi"])
+
+
+def _run_primal_flux(mesh: Mesh, f):
+    return tnd.primal_normal_flux_edge(mesh, f["dpi"], f["u"])
+
+
+def _run_coriolis(mesh: Mesh, f):
+    return tnd.calc_coriolis_term(mesh, f["u"])
+
+
+def _run_grad_ke(mesh: Mesh, f):
+    return tnd.tend_grad_ke_at_edge(mesh, f["u"])
+
+
+def _run_divergence(mesh: Mesh, f):
+    return ops.divergence(mesh, f["flux"])
+
+
+#: Fig. 9's kernel set (plus the two workhorse operators the figure's
+#: bars implicitly cover through the dycore total).
+MAJOR_KERNELS: dict[str, RegisteredKernel] = {
+    "tracer_transport_hori_flux_limiter": RegisteredKernel(
+        spec=KernelSpec(
+            name="tracer_transport_hori_flux_limiter",
+            flops_per_elem=34,
+            arrays_streamed=9,          # q, flux, dpi x2, bounds x2, P/R sums
+            divisions_per_elem=1.0,     # the R+/R- ratios
+            vector_efficiency=0.28,
+            mixed_data_fraction=0.90,   # limiter runs in ns precision
+            mixed_flop_fraction=0.90,
+        ),
+        element="edge",
+        run=_run_flux_limiter,
+    ),
+    "compute_rrr": RegisteredKernel(
+        spec=KernelSpec(
+            name="compute_rrr",
+            flops_per_elem=22,
+            arrays_streamed=8,          # dpi, phi(2 interfaces), rrr + temps
+            divisions_per_elem=0.5,
+            vector_efficiency=0.30,
+            mixed_data_fraction=0.85,
+            mixed_flop_fraction=0.85,
+        ),
+        element="cell",
+        run=_run_compute_rrr,
+    ),
+    "primal_normal_flux_edge": RegisteredKernel(
+        spec=KernelSpec(
+            name="primal_normal_flux_edge",
+            flops_per_elem=24,
+            arrays_streamed=6,          # dpi(c1), dpi(c2), u, de, flux, wgt
+            divisions_per_elem=1.2,     # distance-weighted interpolation
+            specials_per_elem=0.4,
+            vector_efficiency=0.25,
+            mixed_data_fraction=0.80,
+            mixed_flop_fraction=0.90,
+        ),
+        element="edge",
+        run=_run_primal_flux,
+    ),
+    "calc_coriolis_term": RegisteredKernel(
+        spec=KernelSpec(
+            name="calc_coriolis_term",
+            flops_per_elem=12,
+            arrays_streamed=3,          # u, vt, f — few arrays, no thrash
+            divisions_per_elem=0.0,
+            vector_efficiency=0.35,
+            mixed_data_fraction=0.0,    # "lacking mixed precision optimization"
+            mixed_flop_fraction=0.0,
+        ),
+        element="edge",
+        run=_run_coriolis,
+    ),
+    "tend_grad_ke_at_edge": RegisteredKernel(
+        spec=KernelSpec(
+            name="tend_grad_ke_at_edge",
+            flops_per_elem=10,
+            arrays_streamed=5,          # ke(c1), ke(c2), de, edt_v, tend
+            divisions_per_elem=1.0,     # the /(rearth*edt_leng) of Fig. 4
+            vector_efficiency=0.32,
+            mixed_data_fraction=0.85,
+            mixed_flop_fraction=0.85,
+        ),
+        element="edge",
+        run=_run_grad_ke,
+    ),
+    "divergence_operator": RegisteredKernel(
+        spec=KernelSpec(
+            name="divergence_operator",
+            flops_per_elem=14,
+            arrays_streamed=5,          # flux gather, sign, le, area, out
+            divisions_per_elem=1.0,
+            vector_efficiency=0.30,
+            mixed_data_fraction=0.85,
+            mixed_flop_fraction=0.85,
+        ),
+        element="cell",
+        run=_run_divergence,
+    ),
+}
+
+
+def sample_fields(mesh: Mesh, nlev: int, seed: int = 0) -> dict:
+    """Random-but-physical fields for exercising the kernels."""
+    rng = np.random.default_rng(seed)
+    dpi = np.full((mesh.nc, nlev), 1.0e4) * (1.0 + 0.01 * rng.normal(size=(mesh.nc, nlev)))
+    u = 10.0 * rng.normal(size=(mesh.ne, nlev))
+    phi = np.cumsum(np.full((mesh.nc, nlev + 1), 800.0 * 9.8), axis=1)[:, ::-1].copy()
+    q = np.abs(rng.normal(size=(mesh.nc, nlev))) * 1e-3
+    flux = dpi.mean() * 0.1 * rng.normal(size=(mesh.ne, nlev))
+    return {"dpi": dpi, "u": u, "phi": phi, "q": q, "flux": flux, "dt": 60.0}
+
+
+def n_elements(mesh: Mesh, kernel: RegisteredKernel, nlev: int) -> int:
+    base = mesh.ne if kernel.element == "edge" else mesh.nc
+    return base * nlev

@@ -1,0 +1,165 @@
+"""Discrete C-grid operators (staggered finite volume, ~2nd order).
+
+Fields follow GRIST's staggering: scalars at cells shaped ``(nc, nlev)``,
+normal velocity at edges ``(ne, nlev)``, vorticity at vertices
+``(nv, nlev)``.  All operators are vectorised gathers/scatters driven by
+the mesh's padded connectivity arrays — the paper's indirect-addressing
+scheme — and preserve the usual mimetic identities (divergence of a
+curl-free... the divergence theorem holds discretely: area-weighted
+divergence sums to zero over the sphere; curl of a gradient vanishes to
+round-off), which the test suite checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.mesh import Mesh, PAD
+
+
+def _gather_edges(mesh: Mesh, edge_field: np.ndarray) -> np.ndarray:
+    """Gather an edge field to (nc, MAX_DEG, ...) with zeros at pads."""
+    idx = np.clip(mesh.cell_edges, 0, None)
+    out = edge_field[idx]
+    out[mesh.cell_edges == PAD] = 0.0
+    return out
+
+
+def divergence(mesh: Mesh, flux_edge: np.ndarray) -> np.ndarray:
+    """Divergence at cells of an edge-normal flux field.
+
+    ``div_i = (1/A_i) * sum_e sign(i,e) * F_e * le_e`` — the finite
+    volume form; exact conservation: ``sum_i A_i * div_i == 0``.
+    """
+    gathered = _gather_edges(mesh, flux_edge)           # (nc, D, ...)
+    sign = mesh.cell_edge_sign
+    le = np.where(mesh.cell_edges >= 0, mesh.le[np.clip(mesh.cell_edges, 0, None)], 0.0)
+    w = sign * le                                        # (nc, D)
+    extra = gathered.ndim - 2
+    w = w.reshape(w.shape + (1,) * extra)
+    acc = (gathered * w).sum(axis=1)
+    area = mesh.cell_area.reshape((-1,) + (1,) * extra)
+    return acc / area
+
+
+def gradient(mesh: Mesh, cell_field: np.ndarray) -> np.ndarray:
+    """Normal gradient at edges: ``(psi(c2) - psi(c1)) / de``."""
+    c1 = mesh.edge_cells[:, 0]
+    c2 = mesh.edge_cells[:, 1]
+    de = mesh.de.reshape((-1,) + (1,) * (cell_field.ndim - 1))
+    return (cell_field[c2] - cell_field[c1]) / de
+
+
+def curl(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
+    """Relative vorticity at vertices from the circulation of u.
+
+    The normal velocity at a primal edge is the tangential velocity along
+    the corresponding dual edge, so the circulation around a dual
+    triangle is ``sum_e sign(v,e) * u_e * de_e``.
+    """
+    idx = np.clip(mesh.vertex_edges, 0, None)
+    ue = u_edge[idx]                                      # (nv, 3, ...)
+    sign = mesh.vertex_edge_sign
+    de = np.where(mesh.vertex_edges >= 0, mesh.de[idx], 0.0)
+    w = sign * de
+    extra = ue.ndim - 2
+    w = w.reshape(w.shape + (1,) * extra)
+    acc = (ue * w).sum(axis=1)
+    area = mesh.vertex_area.reshape((-1,) + (1,) * extra)
+    return acc / area
+
+
+def cell_to_edge(mesh: Mesh, cell_field: np.ndarray) -> np.ndarray:
+    """Arithmetic two-cell average onto edges (2nd-order centred)."""
+    c1 = mesh.edge_cells[:, 0]
+    c2 = mesh.edge_cells[:, 1]
+    return 0.5 * (cell_field[c1] + cell_field[c2])
+
+
+def cell_to_edge_upwind(mesh: Mesh, cell_field: np.ndarray, u_edge: np.ndarray) -> np.ndarray:
+    """First-order upwind edge value based on the sign of u (c1 -> c2)."""
+    c1 = mesh.edge_cells[:, 0]
+    c2 = mesh.edge_cells[:, 1]
+    return np.where(u_edge >= 0.0, cell_field[c1], cell_field[c2])
+
+
+def vertex_to_edge(mesh: Mesh, vertex_field: np.ndarray) -> np.ndarray:
+    """Two-vertex average onto edges."""
+    v1 = mesh.edge_vertices[:, 0]
+    v2 = mesh.edge_vertices[:, 1]
+    return 0.5 * (vertex_field[v1] + vertex_field[v2])
+
+
+def vertex_to_cell(mesh: Mesh, vertex_field: np.ndarray) -> np.ndarray:
+    """Area-style average of the cell's surrounding vertices."""
+    idx = np.clip(mesh.cell_vertices, 0, None)
+    vals = vertex_field[idx]
+    mask = (mesh.cell_vertices >= 0).astype(vals.dtype)
+    extra = vals.ndim - 2
+    mask = mask.reshape(mask.shape + (1,) * extra)
+    s = (vals * mask).sum(axis=1)
+    cnt = mask.sum(axis=1)
+    return s / np.maximum(cnt, 1.0)
+
+
+def reconstruct_cell_vectors(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
+    """Least-squares 3-D velocity vectors at cells from edge normals.
+
+    Returns shape ``(nc, 3)`` for a 2-D ``(ne,)`` input or
+    ``(nc, 3, nlev)`` for ``(ne, nlev)`` input.
+    """
+    idx = np.clip(mesh.cell_edges, 0, None)
+    ug = u_edge[idx]                                       # (nc, D, ...)
+    ug = np.where(
+        (mesh.cell_edges >= 0).reshape(mesh.cell_edges.shape + (1,) * (ug.ndim - 2)),
+        ug, 0.0,
+    )
+    if ug.ndim == 2:
+        return np.einsum("nik,nk->ni", mesh.cell_recon, ug)
+    return np.einsum("nik,nkl->nil", mesh.cell_recon, ug)
+
+
+def tangential_velocity(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
+    """Tangential velocity at edges via cell-vector reconstruction.
+
+    Average the two adjacent cells' reconstructed vectors and project on
+    the edge tangent — the simplified perpendicular reconstruction used
+    in place of full TRSK weights.
+    """
+    vec = reconstruct_cell_vectors(mesh, u_edge)           # (nc, 3[, nlev])
+    c1 = mesh.edge_cells[:, 0]
+    c2 = mesh.edge_cells[:, 1]
+    ve = 0.5 * (vec[c1] + vec[c2])                         # (ne, 3[, nlev])
+    if ve.ndim == 2:
+        return np.einsum("ej,ej->e", ve, mesh.edge_tangent)
+    return np.einsum("ejl,ej->el", ve, mesh.edge_tangent)
+
+
+def kinetic_energy(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
+    """Kinetic energy at cells: 0.5 |U|^2 from reconstructed vectors."""
+    vec = reconstruct_cell_vectors(mesh, u_edge)
+    if vec.ndim == 2:
+        return 0.5 * np.einsum("ni,ni->n", vec, vec)
+    return 0.5 * np.einsum("nil,nil->nl", vec, vec)
+
+
+def laplacian_cell(mesh: Mesh, cell_field: np.ndarray) -> np.ndarray:
+    """Horizontal Laplacian of a cell field: div(grad)."""
+    return divergence(mesh, gradient(mesh, cell_field))
+
+
+def laplacian_edge(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
+    """Vector Laplacian on edges via grad(div) - curl-of-curl form.
+
+    Used for horizontal diffusion of momentum; approximate but adequate
+    as a stabiliser (coefficient-scaled in the solver).
+    """
+    div = divergence(mesh, u_edge)
+    zeta = curl(mesh, u_edge)
+    grad_div = gradient(mesh, div)
+    # curl of vorticity along the edge: tangential difference of zeta.
+    v1 = mesh.edge_vertices[:, 0]
+    v2 = mesh.edge_vertices[:, 1]
+    le = mesh.le.reshape((-1,) + (1,) * (u_edge.ndim - 1))
+    curl_zeta = (zeta[v2] - zeta[v1]) / le
+    return grad_div - curl_zeta

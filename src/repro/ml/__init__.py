@@ -1,0 +1,48 @@
+"""The resolution-adaptive ML physics suite (paper section 3.2).
+
+Everything is built from scratch on NumPy:
+
+* :mod:`repro.ml.layers` / :mod:`repro.ml.network` — a small neural
+  network framework (Dense, Conv1D, ReLU, residual units) with manual,
+  gradient-checked backprop;
+* :mod:`repro.ml.optimizer` — Adam and SGD;
+* :mod:`repro.ml.training` — MSE training loop with the paper's
+  train/test protocol (3 random test steps per day, 7:1 split);
+* :mod:`repro.ml.tendency_net` — the ML physical tendency module: an
+  11-conv-layer 1-D CNN with 5 ResUnits (~0.5 M parameters) mapping
+  (U, V, T, Q, P) profiles to Q1/Q2 profiles;
+* :mod:`repro.ml.radiation_net` — the ML radiation diagnostic module: a
+  7-layer residual MLP producing surface downward shortwave (gsw) and
+  longwave (glw) radiation from profiles plus tskin and coszr;
+* :mod:`repro.ml.coarse_grain` — coarse graining between grid levels and
+  the residual Q1/Q2 diagnosis of section 3.2.2;
+* :mod:`repro.ml.data` — the Table-1 training periods over a synthetic
+  GSRM archive produced by this repo's own model;
+* :mod:`repro.ml.suite` — the coupled ML physics suite exposing the same
+  interface as the conventional suite.
+"""
+
+from repro.ml.network import Sequential, ResUnit
+from repro.ml.layers import Dense, Conv1D, ReLU
+from repro.ml.optimizer import Adam, SGD
+from repro.ml.tendency_net import TendencyCNN
+from repro.ml.radiation_net import RadiationMLP
+from repro.ml.suite import MLPhysicsSuite
+from repro.ml.training import Trainer, train_test_split_by_day
+from repro.ml.ensemble import TendencyEnsemble
+
+__all__ = [
+    "Sequential",
+    "ResUnit",
+    "Dense",
+    "Conv1D",
+    "ReLU",
+    "Adam",
+    "SGD",
+    "TendencyCNN",
+    "RadiationMLP",
+    "MLPhysicsSuite",
+    "Trainer",
+    "train_test_split_by_day",
+    "TendencyEnsemble",
+]

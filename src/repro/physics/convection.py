@@ -1,0 +1,86 @@
+"""Relaxed convective adjustment (Betts–Miller style).
+
+Where a column is conditionally unstable (positive parcel-buoyancy CAPE
+proxy) and moist near the surface, the humidity profile relaxes toward a
+reference ``rh_crit * qsat(T)`` over a convective timescale ``tau``; only
+the *drying* part acts (the precipitating regime of Betts–Miller), the
+removed water falls as convective precipitation, and each layer is warmed
+by exactly the latent heat of the vapour it lost — so column moist
+enthalpy is conserved by construction (a property-based test invariant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import CP_DRY, GRAVITY, LATENT_HEAT_VAP, R_DRY
+from repro.physics.surface import saturation_mixing_ratio
+
+
+@dataclass
+class ConvectionResult:
+    dtheta: np.ndarray       # (nc, nlev) K/s (theta tendency)
+    dqv: np.ndarray          # (nc, nlev) 1/s
+    precip_rate: np.ndarray  # (nc,) kg/m^2/s
+    active: np.ndarray       # (nc,) bool — columns that convected
+    cape: np.ndarray         # (nc,) J/kg — the trigger diagnostic
+
+
+def parcel_cape(
+    temp: np.ndarray,
+    qv: np.ndarray,
+    p_mid: np.ndarray,
+    dpi: np.ndarray,
+    exner_mid: np.ndarray,
+) -> np.ndarray:
+    """Simplified CAPE: lowest-layer parcel with pseudo-latent warming.
+
+    The parcel ascends dry-adiabatically plus a latent-heat boost that
+    phases in above the boundary layer, scaled by the parcel's vapour
+    load — a cheap proxy adequate as a convective trigger.
+    """
+    theta_parcel = temp[:, -1:] / exner_mid[:, -1:]
+    t_parcel = theta_parcel * exner_mid
+    lcl_boost = LATENT_HEAT_VAP * np.maximum(qv[:, -1:], 0.0) / CP_DRY
+    weight = np.clip((p_mid[:, -1:] - p_mid) / 4.0e4, 0.0, 1.0)
+    t_ref = t_parcel + lcl_boost * weight
+    buoy = R_DRY * (t_ref - temp) * dpi / p_mid          # J/kg per layer
+    return np.maximum(buoy, 0.0).sum(axis=1)
+
+
+def convective_adjustment(
+    temp: np.ndarray,
+    qv: np.ndarray,
+    p_mid: np.ndarray,
+    dpi: np.ndarray,
+    exner_mid: np.ndarray,
+    dt: float,
+    tau: float = 3600.0,
+    rh_crit: float = 0.8,
+    cape_threshold: float = 50.0,
+    rh_trigger: float = 0.5,
+) -> ConvectionResult:
+    """One convective-adjustment step (vectorised over columns)."""
+    cape = parcel_cape(temp, qv, p_mid, dpi, exner_mid)
+    qsat = saturation_mixing_ratio(temp, p_mid)
+    rh_low = qv[:, -1] / np.maximum(qsat[:, -1], 1e-10)
+    active = (cape > cape_threshold) & (rh_low > rh_trigger)
+
+    # Precipitating adjustment: dry layers above the reference humidity.
+    relax = min(dt / tau, 1.0)
+    excess = np.maximum(qv - rh_crit * qsat, 0.0)
+    d_q = -np.where(active[:, None], excess * relax, 0.0)
+
+    # Per-layer latent heating of exactly the condensed vapour.
+    d_t = -(LATENT_HEAT_VAP / CP_DRY) * d_q
+
+    precip = -(d_q * dpi).sum(axis=1) / (GRAVITY * dt)   # kg/m^2/s
+    return ConvectionResult(
+        dtheta=d_t / (exner_mid * dt),
+        dqv=d_q / dt,
+        precip_rate=precip,
+        active=active,
+        cape=cape,
+    )

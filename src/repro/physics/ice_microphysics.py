@@ -1,0 +1,110 @@
+"""Cold-cloud (ice/snow) extension of the warm-rain microphysics.
+
+GRIST's operational suite carries mixed-phase microphysics; this module
+extends the Kessler chain with a single ice category: vapour deposition
+onto ice below freezing (Bergeron-style growth at the expense of cloud
+water), melting of falling ice above freezing, and ice sedimentation
+contributing to surface precipitation (as snow when the lowest layer is
+below freezing).  All phase changes conserve column water and release
+the appropriate latent heat — the same invariants the warm scheme is
+property-tested for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import CP_DRY, GRAVITY, LATENT_HEAT_VAP, T_FREEZE
+from repro.physics.surface import saturation_mixing_ratio
+
+#: Latent heat of fusion [J/kg].
+LATENT_HEAT_FUSION = 3.34e5
+#: Latent heat of sublimation.
+LATENT_HEAT_SUB = LATENT_HEAT_VAP + LATENT_HEAT_FUSION
+
+
+@dataclass
+class IceMicrophysicsResult:
+    dtheta: np.ndarray       # (nc, nlev) K/s (theta tendency)
+    dqv: np.ndarray          # 1/s
+    dqc: np.ndarray
+    dqi: np.ndarray
+    precip_rate: np.ndarray  # (nc,) kg/m^2/s total
+    snow_rate: np.ndarray    # (nc,) kg/m^2/s frozen fraction
+
+
+def ice_microphysics(
+    temp: np.ndarray,
+    qv: np.ndarray,
+    qc: np.ndarray,
+    qi: np.ndarray,
+    p_mid: np.ndarray,
+    dpi: np.ndarray,
+    exner_mid: np.ndarray,
+    dt: float,
+    deposition_timescale: float = 1800.0,
+    freezing_timescale: float = 900.0,
+    melting_timescale: float = 600.0,
+    ice_fall_speed: float = 1.5,
+) -> IceMicrophysicsResult:
+    """One cold-microphysics step; returns tendencies (per second).
+
+    Processes, in order: (1) vapour deposition onto ice where
+    supersaturated w.r.t. ice and below freezing; (2) heterogeneous
+    freezing of cloud water well below freezing; (3) melting of ice
+    above freezing (back to cloud water); (4) ice sedimentation.
+    """
+    qv = np.maximum(qv, 0.0)
+    qc = np.maximum(qc, 0.0)
+    qi = np.maximum(qi, 0.0)
+    cold = temp < T_FREEZE
+
+    # (1) Deposition: relax supersaturation (w.r.t. liquid as a proxy,
+    # scaled by the ice supersaturation factor exp(...) ~ 1.1) onto ice.
+    qsat_liq = saturation_mixing_ratio(temp, p_mid)
+    qsat_ice = qsat_liq * np.clip(
+        np.exp(-0.05 * np.maximum(T_FREEZE - temp, 0.0) / 10.0), 0.6, 1.0
+    )
+    super_ice = np.maximum(qv - qsat_ice, 0.0)
+    dep = np.where(cold, super_ice * min(dt / deposition_timescale, 1.0), 0.0)
+
+    qv1 = qv - dep
+    qi1 = qi + dep
+    t1 = temp + LATENT_HEAT_SUB * dep / CP_DRY
+
+    # (2) Freezing of cloud water: ramps in from 0 C to full at -30 C.
+    frac = np.clip((T_FREEZE - t1) / 30.0, 0.0, 1.0)
+    frz = qc * frac * min(dt / freezing_timescale, 1.0)
+    qc1 = qc - frz
+    qi2 = qi1 + frz
+    t2 = t1 + LATENT_HEAT_FUSION * frz / CP_DRY
+
+    # (3) Melting above freezing.
+    warm = t2 > T_FREEZE
+    melt = np.where(warm, qi2 * min(dt / melting_timescale, 1.0), 0.0)
+    qi3 = qi2 - melt
+    qc2 = qc1 + melt
+    t3 = t2 - LATENT_HEAT_FUSION * melt / CP_DRY
+
+    # (4) Ice sedimentation (same upwind fall as rain, slower).
+    rho_est = p_mid / (287.04 * np.maximum(t3, 120.0))
+    dz = dpi / (rho_est * GRAVITY)
+    courant = np.minimum(ice_fall_speed * dt / np.maximum(dz, 1.0), 1.0)
+    fall_out = courant * qi3
+    qi4 = qi3 - fall_out
+    arriving = np.zeros_like(qi3)
+    arriving[:, 1:] = fall_out[:, :-1] * (dpi[:, :-1] / dpi[:, 1:])
+    qi4 = qi4 + arriving
+    precip = fall_out[:, -1] * dpi[:, -1] / (GRAVITY * dt)
+    snow = np.where(t3[:, -1] < T_FREEZE, precip, 0.0)
+
+    return IceMicrophysicsResult(
+        dtheta=(t3 - temp) / (exner_mid * dt),
+        dqv=(qv1 - qv) / dt,
+        dqc=(qc2 - qc) / dt,
+        dqi=(qi4 - qi) / dt,
+        precip_rate=precip,
+        snow_rate=snow,
+    )

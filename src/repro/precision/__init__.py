@@ -1,0 +1,25 @@
+"""Mixed-precision framework (paper section 3.4).
+
+GRIST's mixed-precision dycore is driven by a custom Fortran kind ``ns``:
+insensitive terms are declared ``real(ns)`` and the whole code switches
+between pure double and mixed precision by redefining one constant.
+:mod:`repro.precision.policy` reproduces that switch for NumPy code, with
+the paper's sensitivity classification of the six prognostic equations;
+:mod:`repro.precision.analysis` implements the evaluation metric —
+relative L2 deviation of surface pressure (ps) and relative vorticity
+(vor) against the double-precision gold standard, with the paper's 5 %
+threshold.
+"""
+
+from repro.precision.policy import PrecisionPolicy, NS, TermSensitivity, GRIST_SENSITIVITY
+from repro.precision.analysis import relative_l2, DeviationTracker, ACCURACY_THRESHOLD
+
+__all__ = [
+    "PrecisionPolicy",
+    "NS",
+    "TermSensitivity",
+    "GRIST_SENSITIVITY",
+    "relative_l2",
+    "DeviationTracker",
+    "ACCURACY_THRESHOLD",
+]

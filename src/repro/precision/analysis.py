@@ -1,0 +1,82 @@
+"""Accuracy evaluation of mixed precision runs (paper section 3.4.1).
+
+    "we designate surface pressure (ps) and relative vorticity (vor) as
+    pivotal observation points for tracking deviations within the mass
+    and velocity fields ...  we gauge error discrepancies resulting from
+    varied precisions using the relative L2 norm ...  we establish a 5%
+    error threshold to ensure the dynamical core's reliability."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: The paper's accepted relative-L2 deviation for mixed precision runs.
+ACCURACY_THRESHOLD = 0.05
+
+
+def relative_l2(test: np.ndarray, gold: np.ndarray) -> float:
+    """Relative L2 norm ``||test - gold|| / ||gold||``.
+
+    The gold standard is the original double-precision run.  A zero gold
+    field with a zero test field scores 0; a zero gold field with nonzero
+    test scores inf.
+    """
+    test = np.asarray(test, dtype=np.float64)
+    gold = np.asarray(gold, dtype=np.float64)
+    if test.shape != gold.shape:
+        raise ValueError(f"shape mismatch {test.shape} vs {gold.shape}")
+    denom = np.linalg.norm(gold.ravel())
+    num = np.linalg.norm((test - gold).ravel())
+    if denom == 0.0:
+        return 0.0 if num == 0.0 else float("inf")
+    return float(num / denom)
+
+
+@dataclass
+class DeviationTracker:
+    """Track ps/vor deviations of a reduced-precision run over time.
+
+    Call :meth:`record` once per (comparison) step with both runs' fields;
+    :meth:`passes` applies the 5 % acceptance criterion to the history.
+    """
+
+    threshold: float = ACCURACY_THRESHOLD
+    ps_history: list[float] = field(default_factory=list)
+    vor_history: list[float] = field(default_factory=list)
+
+    def record(
+        self,
+        ps_test: np.ndarray,
+        ps_gold: np.ndarray,
+        vor_test: np.ndarray,
+        vor_gold: np.ndarray,
+    ) -> tuple[float, float]:
+        dev_ps = relative_l2(ps_test, ps_gold)
+        dev_vor = relative_l2(vor_test, vor_gold)
+        self.ps_history.append(dev_ps)
+        self.vor_history.append(dev_vor)
+        return dev_ps, dev_vor
+
+    @property
+    def max_ps(self) -> float:
+        return max(self.ps_history, default=0.0)
+
+    @property
+    def max_vor(self) -> float:
+        return max(self.vor_history, default=0.0)
+
+    def passes(self) -> bool:
+        """True when every recorded deviation is within the threshold."""
+        return self.max_ps <= self.threshold and self.max_vor <= self.threshold
+
+    def summary(self) -> dict:
+        return {
+            "steps": len(self.ps_history),
+            "max_ps_deviation": self.max_ps,
+            "max_vor_deviation": self.max_vor,
+            "threshold": self.threshold,
+            "passes": self.passes(),
+        }

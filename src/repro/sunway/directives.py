@@ -1,0 +1,219 @@
+"""Parser for SWGOMP's OpenMP directive subset (section 3.3.1, Fig. 4).
+
+SWGOMP is "a compiler-plugin-based tool" that turns OpenMP-offload
+directives in Fortran source into CPE launches: ``!$omp target`` opens a
+device region, ``!$omp parallel``/``!$omp do`` distribute loops to CPEs,
+``!$omp target parallel workshare`` offloads Fortran array operations,
+and the unified-shared-memory backport removes data-map clauses.
+
+This module parses that directive subset from Fortran-like source text
+into a structured launch plan (regions, their clauses, and the loop
+nests they cover) — the front half of SWGOMP, feeding the
+:class:`~repro.sunway.swgomp.JobServer` execution model.  The test suite
+parses the paper's own Fig. 4 listing and checks it produces exactly one
+target region with one distributed loop and one workshare region.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+#: Directive sentinel (case-insensitive, Fortran free form).
+_SENTINEL = re.compile(r"^\s*!\$omp\s+(.*)$", re.IGNORECASE)
+
+
+@dataclass
+class LoopNest:
+    """One ``!$omp do``-annotated loop inside a parallel region."""
+
+    line: int
+    variable: str = ""
+    nowait: bool = False
+
+
+@dataclass
+class WorkshareRegion:
+    """A ``workshare`` region offloading array syntax."""
+
+    line: int
+    statements: int = 0
+
+
+@dataclass
+class TargetRegion:
+    """One ``!$omp target`` region with its contents."""
+
+    line: int
+    combined: tuple = ()                 # e.g. ("parallel", "workshare")
+    private: list = field(default_factory=list)
+    num_teams: int | None = None
+    loops: list = field(default_factory=list)
+    workshares: list = field(default_factory=list)
+
+    @property
+    def offloads_to_cpes(self) -> bool:
+        return True
+
+
+@dataclass
+class LaunchPlan:
+    """Everything SWGOMP would hand to the job server for one file."""
+
+    targets: list = field(default_factory=list)
+    uses_unified_shared_memory: bool = True   # the OpenMP 5.0 backport
+
+    @property
+    def n_target_regions(self) -> int:
+        return len(self.targets)
+
+
+class DirectiveError(ValueError):
+    """Malformed or unbalanced directive structure."""
+
+
+def _clauses(text: str) -> dict:
+    out: dict = {}
+    m = re.search(r"private\s*\(([^)]*)\)", text, re.IGNORECASE)
+    if m:
+        out["private"] = [v.strip() for v in m.group(1).split(",") if v.strip()]
+    m = re.search(r"num_teams\s*\(\s*(\d+)\s*\)", text, re.IGNORECASE)
+    if m:
+        out["num_teams"] = int(m.group(1))
+    out["nowait"] = bool(re.search(r"\bnowait\b", text, re.IGNORECASE))
+    return out
+
+
+def parse_directives(source: str) -> LaunchPlan:
+    """Parse a Fortran-like source string into a :class:`LaunchPlan`.
+
+    Recognised directives: ``target`` / ``end target`` (optionally
+    combined with ``parallel`` and/or ``workshare``), ``parallel`` /
+    ``end parallel``, ``do`` / ``end do``, ``workshare`` /
+    ``end workshare``, with ``private(...)``, ``num_teams(...)`` and
+    ``nowait`` clauses.  Raises :class:`DirectiveError` on unbalanced
+    regions or loops outside a target.
+    """
+    plan = LaunchPlan()
+    current: TargetRegion | None = None
+    in_parallel = False
+    open_loop: LoopNest | None = None
+    open_workshare: WorkshareRegion | None = None
+
+    lines = source.splitlines()
+    for lineno, raw in enumerate(lines, start=1):
+        m = _SENTINEL.match(raw)
+        if not m:
+            # Count the first Fortran statement of an open do/workshare.
+            stripped = raw.strip()
+            if not stripped or stripped.startswith("!"):
+                continue
+            if open_loop is not None and not open_loop.variable:
+                dm = re.match(r"do\s+(\w+)\s*=", stripped, re.IGNORECASE)
+                if dm:
+                    open_loop.variable = dm.group(1)
+            if open_workshare is not None:
+                open_workshare.statements += 1
+            continue
+
+        body = m.group(1).strip().lower()
+        cl = _clauses(m.group(1))
+
+        if body.startswith("end"):
+            what = body[3:].strip()
+            if what.startswith("target"):
+                if current is None:
+                    raise DirectiveError(f"line {lineno}: end target without target")
+                plan.targets.append(current)
+                current = None
+                in_parallel = False
+            elif what.startswith("parallel"):
+                if not in_parallel:
+                    raise DirectiveError(f"line {lineno}: end parallel without parallel")
+                in_parallel = False
+            elif what.startswith("do"):
+                if open_loop is None:
+                    raise DirectiveError(f"line {lineno}: end do without do")
+                open_loop.nowait = cl["nowait"]
+                open_loop = None
+            elif what.startswith("workshare"):
+                if open_workshare is None:
+                    raise DirectiveError(f"line {lineno}: end workshare without workshare")
+                open_workshare = None
+            else:
+                raise DirectiveError(f"line {lineno}: unknown end-directive {what!r}")
+            continue
+
+        if body.startswith("target"):
+            if current is not None:
+                raise DirectiveError(f"line {lineno}: nested target regions")
+            combined = []
+            rest = body[len("target"):]
+            if "parallel" in rest:
+                combined.append("parallel")
+                in_parallel = True
+            if "workshare" in rest:
+                combined.append("workshare")
+            current = TargetRegion(
+                line=lineno,
+                combined=tuple(combined),
+                private=cl.get("private", []),
+                num_teams=cl.get("num_teams"),
+            )
+            if "workshare" in combined:
+                ws = WorkshareRegion(line=lineno)
+                current.workshares.append(ws)
+                open_workshare = ws
+        elif body.startswith("parallel"):
+            if current is None:
+                raise DirectiveError(
+                    f"line {lineno}: parallel outside a target region "
+                    "(SWGOMP offloads through target)"
+                )
+            in_parallel = True
+            current.private.extend(cl.get("private", []))
+        elif body.startswith("do"):
+            if current is None or not in_parallel:
+                raise DirectiveError(
+                    f"line {lineno}: '!$omp do' outside target parallel"
+                )
+            loop = LoopNest(line=lineno)
+            current.loops.append(loop)
+            open_loop = loop
+        elif body.startswith("workshare"):
+            if current is None:
+                raise DirectiveError(f"line {lineno}: workshare outside target")
+            ws = WorkshareRegion(line=lineno)
+            current.workshares.append(ws)
+            open_workshare = ws
+        else:
+            raise DirectiveError(f"line {lineno}: unsupported directive {body!r}")
+
+    if current is not None:
+        raise DirectiveError("unterminated target region")
+    if open_loop is not None:
+        raise DirectiveError("unterminated '!$omp do' loop")
+    return plan
+
+
+#: The paper's Fig. 4 listing, verbatim (used by tests and the docs).
+FIG4_SOURCE = """\
+!$omp target !Just add this
+!$omp parallel private(ie,v1,v2,ilev)
+!$omp do
+   do ie = 1, mesh%ne
+     v1       = mesh%edt_v(1, ie)
+     v2       = mesh%edt_v(2, ie)
+      do ilev = 1, nlev
+         tend_grad_ke_at_edge_full_level(ilev,ie) = &
+         -edt_edpNr_edtTg(ie)*(kinetic_energy(ilev,v2) &
+         -kinetic_energy(ilev,v1))/(rearth*edt_leng(ie))
+      end do
+   end do
+!$omp end do nowait
+!$omp end parallel
+!$omp end target !and this, and enjoy CPEs
+!$omp target parallel workshare !or for fortran arrayop
+kinetic_energy(:,:) = 0
+!$omp end target parallel workshare
+"""

@@ -1,0 +1,78 @@
+"""``omnicopy``: the cross-platform memcpy/DMA shim (section 3.3.2).
+
+    "we implement a cross-platform omnicopy function as a replacement for
+    memcpy.  This function can determine whether data transfer occurs
+    between main memory and LDM, utilizing DMA automatically when
+    feasible.  On non-Sunway platforms, omnicopy functions identically to
+    memcpy."
+
+Here the two address spaces are explicit (:class:`MemorySpace`), the copy
+is a real NumPy copy either way, and the returned record says which engine
+a Sunway build would have used and what it would have cost — consumed by
+the kernel timing model when a kernel stages arrays into LDM to break
+cache thrashing (section 3.3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.sunway.arch import CPESpec
+
+
+class MemorySpace(Enum):
+    MAIN = "main"    # per-CG DDR4
+    LDM = "ldm"      # per-CPE local device memory
+
+
+@dataclass(frozen=True)
+class CopyRecord:
+    """What a copy did and what it costs on the simulated hardware."""
+
+    nbytes: int
+    engine: str           # "dma" or "memcpy"
+    seconds: float        # simulated transfer time
+
+
+def omnicopy(
+    dst: np.ndarray,
+    src: np.ndarray,
+    dst_space: MemorySpace = MemorySpace.MAIN,
+    src_space: MemorySpace = MemorySpace.MAIN,
+    cpe: CPESpec | None = None,
+) -> CopyRecord:
+    """Copy ``src`` into ``dst``, modelling DMA when crossing spaces.
+
+    Raises if the destination "LDM" buffer would not fit in the LDM's
+    user-programmable half (128 KB) — the same constraint the real code
+    faces when staging arrays onto the CPE stack.
+    """
+    if dst.shape != src.shape:
+        raise ValueError("omnicopy requires matching shapes")
+    cpe = cpe or CPESpec()
+    nbytes = src.nbytes
+    crossing = dst_space != src_space
+    if MemorySpace.LDM in (dst_space, src_space):
+        ldm_user_bytes = cpe.ldm_bytes // 2
+        if nbytes > ldm_user_bytes:
+            raise MemoryError(
+                f"buffer of {nbytes} B exceeds the {ldm_user_bytes} B "
+                "user-programmable LDM half"
+            )
+    np.copyto(dst, src)
+    if crossing:
+        return CopyRecord(nbytes=nbytes, engine="dma", seconds=nbytes / cpe.dma_peak)
+    return CopyRecord(nbytes=nbytes, engine="memcpy", seconds=nbytes / cpe.ldm_bandwidth)
+
+
+def ldm_capacity_arrays(n_arrays: int, elem_bytes: int, chunk: int, cpe: CPESpec | None = None) -> bool:
+    """Can ``n_arrays`` chunks of ``chunk`` elements be staged into LDM?
+
+    Used by kernels that copy variables onto the CPE stack "until the
+    cache thrashing is eliminated" (section 3.3.4).
+    """
+    cpe = cpe or CPESpec()
+    return n_arrays * chunk * elem_bytes <= cpe.ldm_bytes // 2

@@ -1,0 +1,196 @@
+"""Roofline kernel-timing model with LDCache feedback (drives Fig. 9).
+
+The paper's own analysis (section 4.6) fixes the model's regimes:
+
+    "we can infer from the results that the MPE code is computation-bound.
+    On CPEs ... CPE code appears to be constrained by memory bandwidth,
+    and mixed precision reduces data size, conserving memory bandwidth and
+    increasing cache hit ratio."
+
+So the MPE executes kernels at scalar throughput (compute-bound), while
+the 64-CPE array is limited by the CG's shared DDR4 bandwidth, modulated
+by the LDCache hit ratio — which is where address distribution (DST) and
+mixed precision (MIX) act.  Division/elemental functions are the one
+place single precision is natively faster on Sunway, so division-heavy
+kernels gain extra MIX speedup (the paper's ``primal_normal_flux_edge``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.sunway.arch import CoreGroup
+
+
+class Engine(Enum):
+    MPE = "mpe"
+    CPE_ARRAY = "cpe_array"
+
+
+class Precision(Enum):
+    DP = "dp"
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Static description of one compute kernel's per-element work.
+
+    ``mixed_data_fraction`` is the fraction of streamed data that the
+    mixed-precision scheme demotes to FP32 (precision-insensitive terms,
+    section 3.4.2); ``mixed_flop_fraction`` is the fraction of divisions
+    and elemental functions computed in single precision under MIX.
+    """
+
+    name: str
+    flops_per_elem: float
+    arrays_streamed: int              # distinct arrays walked per loop
+    divisions_per_elem: float = 0.0
+    specials_per_elem: float = 0.0    # pow/exp/sqrt per element
+    vector_efficiency: float = 0.30   # achieved fraction of CPE vector peak
+    mixed_data_fraction: float = 0.0
+    mixed_flop_fraction: float = 0.0
+    #: True when the kernel stages thrash-prone arrays into LDM with
+    #: omnicopy (section 3.3.4) — removes thrashing even without DST.
+    ldm_staged: bool = False
+
+
+@dataclass(frozen=True)
+class KernelTime:
+    """Timing breakdown for one kernel invocation."""
+
+    seconds: float
+    compute_seconds: float
+    memory_seconds: float
+    hit_ratio: float
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.compute_seconds >= self.memory_seconds else "memory"
+
+
+#: Partial-thrash model: with K conflicting arrays over W ways the miss
+#: ratio grows with the over-subscription K - W.  Real loop bodies do not
+#: keep all arrays perfectly phase-locked (different strides, write
+#: buffers), so thrashing multiplies the streaming miss ratio rather than
+#: driving it to 1; the multiplier is calibrated against the LDCache
+#: simulator on representative streams.
+THRASH_MISS_SLOPE = 0.25
+
+
+def _thrash_hit(n_arrays: int, ways: int, streaming_hit: float) -> float:
+    miss = (1.0 - streaming_hit) * (1.0 + THRASH_MISS_SLOPE * (n_arrays - ways) * 4.0)
+    return max(0.0, 1.0 - miss)
+
+
+class KernelTimer:
+    """Evaluate :class:`KernelSpec` times on the simulated SW26010P CG."""
+
+    def __init__(self, cg: CoreGroup | None = None, line_bytes: int = 256, ways: int = 4):
+        self.cg = cg or CoreGroup()
+        self.line_bytes = line_bytes
+        self.ways = ways
+        #: Achieved fraction of the CG's DDR4 bandwidth when 64 CPEs stream.
+        self.cpe_bandwidth_efficiency = 0.88
+        #: MPE scalar pipelines sustain well below peak on indirectly
+        #: addressed stencil code.
+        self.mpe_ipc_efficiency = 0.35
+
+    # -- helpers -----------------------------------------------------------
+    def _elem_bytes(self, precision: Precision, spec: KernelSpec) -> float:
+        if precision is Precision.DP:
+            return 8.0
+        return 8.0 * (1.0 - spec.mixed_data_fraction) + 4.0 * spec.mixed_data_fraction
+
+    def hit_ratio(self, spec: KernelSpec, precision: Precision, distributed: bool) -> float:
+        """LDCache hit ratio of the kernel's streaming loop."""
+        eb = self._elem_bytes(precision, spec)
+        streaming = 1.0 - eb / self.line_bytes
+        if distributed or spec.ldm_staged or spec.arrays_streamed <= self.ways:
+            return streaming
+        return _thrash_hit(spec.arrays_streamed, self.ways, streaming)
+
+    # -- timing --------------------------------------------------------------
+    def time(
+        self,
+        spec: KernelSpec,
+        n_elems: int,
+        engine: Engine,
+        precision: Precision = Precision.DP,
+        distributed: bool = False,
+    ) -> KernelTime:
+        """Simulated execution time of ``spec`` over ``n_elems`` elements."""
+        if n_elems < 0:
+            raise ValueError("n_elems must be >= 0")
+        if n_elems == 0:
+            return KernelTime(0.0, 0.0, 0.0, 1.0)
+        eb = self._elem_bytes(precision, spec)
+        if engine is Engine.MPE:
+            return self._time_mpe(spec, n_elems, precision, eb)
+        return self._time_cpe(spec, n_elems, precision, distributed, eb)
+
+    def _div_special_seconds(
+        self, spec: KernelSpec, n: int, precision: Precision, clock: float,
+        div_dp: float, div_sp: float, sp_dp: float, sp_sp: float, lanes: float,
+    ) -> float:
+        if precision is Precision.MIXED:
+            f = spec.mixed_flop_fraction
+            div_cyc = f * div_sp + (1.0 - f) * div_dp
+            spe_cyc = f * sp_sp + (1.0 - f) * sp_dp
+        else:
+            div_cyc, spe_cyc = div_dp, sp_dp
+        cycles = n * (spec.divisions_per_elem * div_cyc + spec.specials_per_elem * spe_cyc)
+        return cycles / (clock * lanes)
+
+    def _time_mpe(self, spec: KernelSpec, n: int, precision: Precision, eb: float) -> KernelTime:
+        m = self.cg.mpe
+        flop_rate = m.flops_dp * self.mpe_ipc_efficiency
+        t_flops = n * spec.flops_per_elem / flop_rate
+        t_div = self._div_special_seconds(
+            spec, n, precision, m.clock_hz,
+            m.div_cycles_dp, m.div_cycles_sp, m.special_cycles_dp, m.special_cycles_sp,
+            lanes=1.0,
+        )
+        t_compute = t_flops + t_div
+        # The MPE's normal data cache streams cleanly; traffic = touched bytes.
+        t_mem = n * spec.arrays_streamed * eb / m.bandwidth
+        return KernelTime(max(t_compute, t_mem), t_compute, t_mem,
+                          1.0 - eb / self.line_bytes)
+
+    def _time_cpe(
+        self, spec: KernelSpec, n: int, precision: Precision, distributed: bool, eb: float
+    ) -> KernelTime:
+        c = self.cg.cpe
+        ncpe = self.cg.n_cpes
+        flop_rate = ncpe * c.flops_dp * spec.vector_efficiency
+        t_flops = n * spec.flops_per_elem / flop_rate
+        # Divisions/elemental functions vectorise poorly; model as pipelined
+        # across CPEs but serialised within a lane.
+        t_div = self._div_special_seconds(
+            spec, n, precision, c.clock_hz,
+            c.div_cycles_dp, c.div_cycles_sp, c.special_cycles_dp, c.special_cycles_sp,
+            lanes=float(ncpe) * 4.0,
+        )
+        t_compute = t_flops + t_div
+        hit = self.hit_ratio(spec, precision, distributed)
+        accesses = n * spec.arrays_streamed
+        traffic = accesses * (1.0 - hit) * self.line_bytes
+        bw = self.cg.memory_bandwidth * self.cpe_bandwidth_efficiency
+        t_mem = traffic / bw
+        if spec.ldm_staged:
+            # Staging through omnicopy adds one clean DMA pass of the data.
+            t_mem += n * spec.arrays_streamed * eb / bw
+        return KernelTime(max(t_compute, t_mem), t_compute, t_mem, hit)
+
+    def speedup_vs_mpe_dp(
+        self,
+        spec: KernelSpec,
+        n_elems: int,
+        precision: Precision,
+        distributed: bool,
+    ) -> float:
+        """The Fig. 9 metric: CPE-variant speedup over the MPE DP baseline."""
+        base = self.time(spec, n_elems, Engine.MPE, Precision.DP)
+        var = self.time(spec, n_elems, Engine.CPE_ARRAY, precision, distributed)
+        return base.seconds / var.seconds

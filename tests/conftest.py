@@ -1,0 +1,44 @@
+"""Shared fixtures: session-scoped meshes and vertical coordinates.
+
+Mesh construction is deterministic, so sharing instances across tests is
+safe as long as tests do not mutate them; tests that need private copies
+build their own.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dycore.vertical import VerticalCoordinate
+from repro.grid import build_mesh
+
+
+@pytest.fixture(scope="session")
+def mesh_g1():
+    return build_mesh(1)
+
+
+@pytest.fixture(scope="session")
+def mesh_g2():
+    return build_mesh(2)
+
+
+@pytest.fixture(scope="session")
+def mesh_g3():
+    return build_mesh(3)
+
+
+@pytest.fixture(scope="session")
+def vcoord10():
+    return VerticalCoordinate.uniform(10)
+
+
+@pytest.fixture(scope="session")
+def vcoord8s():
+    return VerticalCoordinate.stretched(8)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,70 @@
+"""Tests of the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if isinstance(a, type(parser._subparsers._group_actions[0]))
+        )
+        names = set(sub.choices)
+        assert {"grids", "simulate", "doksuri", "scaling", "kernels",
+                "train-ml"} <= names
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.level == 3
+        assert args.scheme == "DP-PHY"
+
+
+class TestCommands:
+    def test_grids(self, capsys):
+        assert main(["grids"]) == 0
+        out = capsys.readouterr().out
+        assert "G12" in out and "167,772,162" in out
+
+    def test_kernels(self, capsys):
+        assert main(["kernels", "--grid", "G6"]) == 0
+        out = capsys.readouterr().out
+        assert "tracer_transport_hori_flux_limiter" in out
+        assert "MIX+DST" in out
+
+    def test_scaling(self, capsys):
+        assert main(["scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "headline" in out
+        assert "G11S" in out
+
+    def test_simulate_with_outputs(self, tmp_path, capsys):
+        restart = str(tmp_path / "restart.npz")
+        rc = main([
+            "simulate", "--level", "2", "--nlev", "6", "--hours", "4",
+            "--out", str(tmp_path / "hist"), "--restart", restart,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "max wind" in out
+        from repro.model.io import load_state
+
+        st = load_state(restart)
+        assert np.isfinite(st.ps).all()
+
+    def test_train_ml_quick(self, capsys):
+        rc = main([
+            "train-ml", "--level", "2", "--nlev", "6", "--periods", "1",
+            "--hours", "2", "--epochs", "1", "--width", "8",
+            "--resunits", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tendency net" in out

@@ -1,0 +1,205 @@
+"""Tests of the communication layer: messages, halo exchange (with the
+aggregation optimisation), fat-tree model, and grouped I/O."""
+
+import numpy as np
+import pytest
+
+from repro.comm.halo import HaloExchanger
+from repro.comm.message import Communicator
+from repro.comm.parallel_io import GroupedIOWriter
+from repro.comm.topology import SUNWAY_TOPOLOGY, FatTreeTopology
+from repro.grid.mesh import build_mesh
+from repro.partition.decomposition import decompose
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return build_mesh(2)
+
+
+@pytest.fixture(scope="module")
+def subs(mesh):
+    return decompose(mesh, 4, seed=0)
+
+
+class TestCommunicator:
+    def test_send_recv_roundtrip(self):
+        comm = Communicator(2)
+        buf = np.arange(10.0)
+        comm.send(0, 1, buf)
+        out = comm.recv(0, 1)
+        np.testing.assert_array_equal(out, buf)
+        assert comm.pending() == 0
+
+    def test_send_copies_buffer(self):
+        comm = Communicator(2)
+        buf = np.arange(4.0)
+        comm.send(0, 1, buf)
+        buf[:] = -1
+        np.testing.assert_array_equal(comm.recv(0, 1), np.arange(4.0))
+
+    def test_recv_before_send_raises(self):
+        comm = Communicator(2)
+        with pytest.raises(RuntimeError):
+            comm.recv(0, 1)
+
+    def test_double_send_same_tag_raises(self):
+        comm = Communicator(2)
+        comm.send(0, 1, np.zeros(1))
+        with pytest.raises(RuntimeError):
+            comm.send(0, 1, np.zeros(1))
+
+    def test_stats_accounting(self):
+        comm = Communicator(3)
+        comm.send(0, 1, np.zeros(8))   # 64 bytes
+        comm.send(1, 2, np.zeros(4))   # 32 bytes
+        assert comm.stats.messages == 2
+        assert comm.stats.bytes_sent == 96
+        assert comm.stats.per_pair[(0, 1)] == 64
+
+    def test_rank_range_checked(self):
+        comm = Communicator(2)
+        with pytest.raises(ValueError):
+            comm.send(0, 5, np.zeros(1))
+
+    def test_allreduce(self):
+        comm = Communicator(3)
+        assert comm.allreduce_sum([1.0, 2.0, 3.0]) == 6.0
+        assert comm.allreduce_max([1.0, 5.0, 3.0]) == 5.0
+        with pytest.raises(ValueError):
+            comm.allreduce_sum([1.0])
+
+
+class TestHaloExchange:
+    def test_exchange_fills_halo(self, mesh, subs):
+        hx = HaloExchanger(subs)
+        rng = np.random.default_rng(0)
+        gfield = rng.normal(size=(mesh.nc, 3))
+        per = hx.scatter_global("T", gfield)
+        for sub, arr in zip(subs, per):
+            arr[sub.n_owned:] = np.nan
+        hx.exchange()
+        for sub, arr in zip(subs, per):
+            np.testing.assert_allclose(arr, gfield[sub.local_cells])
+
+    def test_exchange_1d_and_3d_fields(self, mesh, subs):
+        hx = HaloExchanger(subs)
+        rng = np.random.default_rng(1)
+        f1 = rng.normal(size=mesh.nc)
+        f3 = rng.normal(size=(mesh.nc, 4, 2))
+        p1 = hx.scatter_global("a", f1)
+        p3 = hx.scatter_global("b", f3)
+        for sub, a, b in zip(subs, p1, p3):
+            a[sub.n_owned:] = -1
+            b[sub.n_owned:] = -1
+        hx.exchange()
+        for sub, a, b in zip(subs, p1, p3):
+            np.testing.assert_allclose(a, f1[sub.local_cells])
+            np.testing.assert_allclose(b, f3[sub.local_cells])
+
+    def test_aggregation_message_count(self, mesh, subs):
+        """The section 3.1.3 claim: one message per pair regardless of
+        how many variables are registered."""
+        hx = HaloExchanger(subs)
+        rng = np.random.default_rng(2)
+        for name in ("a", "b", "c", "d"):
+            hx.scatter_global(name, rng.normal(size=mesh.nc))
+        hx.comm.stats.reset()
+        hx.exchange()
+        agg = hx.comm.stats.messages
+        hx.comm.stats.reset()
+        hx.exchange_unaggregated()
+        unagg = hx.comm.stats.messages
+        assert unagg == 4 * agg
+
+    def test_unaggregated_same_result(self, mesh, subs):
+        rng = np.random.default_rng(3)
+        gfield = rng.normal(size=mesh.nc)
+        hx = HaloExchanger(subs)
+        per = hx.scatter_global("x", gfield)
+        for sub, arr in zip(subs, per):
+            arr[sub.n_owned:] = np.nan
+        hx.exchange_unaggregated()
+        for sub, arr in zip(subs, per):
+            np.testing.assert_allclose(arr, gfield[sub.local_cells])
+
+    def test_gather_global_roundtrip(self, mesh, subs):
+        hx = HaloExchanger(subs)
+        rng = np.random.default_rng(4)
+        gfield = rng.normal(size=(mesh.nc, 2))
+        hx.scatter_global("T", gfield)
+        back = hx.gather_global("T", mesh.nc)
+        np.testing.assert_allclose(back, gfield)
+
+    def test_shape_mismatch_rejected(self, subs):
+        hx = HaloExchanger(subs)
+        with pytest.raises(ValueError):
+            hx.register("bad", [np.zeros(3) for _ in subs])
+
+
+class TestFatTreeTopology:
+    def test_locality_tiers(self):
+        t = FatTreeTopology()
+        same_node = t.p2p_time(0, 1, 1024)
+        same_super = t.p2p_time(0, 600, 1024)
+        cross_super = t.p2p_time(0, t.processes_per_supernode + 1, 1024)
+        assert same_node < same_super < cross_super
+
+    def test_supernode_mapping(self):
+        t = FatTreeTopology()
+        assert t.processes_per_supernode == 1536
+        assert t.supernode_of(0) == 0
+        assert t.supernode_of(1535) == 0
+        assert t.supernode_of(1536) == 1
+
+    def test_contention_only_across_supernodes(self):
+        t = FatTreeTopology()
+        assert t.contention_factor(1000, 0.5) == 1.0
+        assert t.contention_factor(10_000, 0.5) > 1.0
+
+    def test_contention_bounded_by_oversubscription(self):
+        t = FatTreeTopology()
+        f = t.contention_factor(10_000_000, 1.0)
+        assert f == pytest.approx(t.oversubscription)
+
+    def test_exchange_time_monotone_in_bytes(self):
+        t = SUNWAY_TOPOLOGY
+        t1 = t.exchange_time(4096, 6, 1e4)
+        t2 = t.exchange_time(4096, 6, 1e6)
+        assert t2 > t1
+
+    def test_exchange_time_single_process_zero(self):
+        assert SUNWAY_TOPOLOGY.exchange_time(1, 6, 1e6) == 0.0
+
+    def test_allreduce_log_scaling(self):
+        t = SUNWAY_TOPOLOGY
+        assert t.allreduce_time(2**10) < t.allreduce_time(2**20)
+        assert t.allreduce_time(1) == 0.0
+
+
+class TestGroupedIO:
+    def test_roundtrip(self, mesh, subs, tmp_path):
+        rng = np.random.default_rng(5)
+        gfield = rng.normal(size=(mesh.nc, 3))
+        per = [gfield[s.local_cells] for s in subs]
+        w = GroupedIOWriter(subs, str(tmp_path), group_size=2)
+        paths = w.write("T", per)
+        assert len(paths) == w.n_groups == 2
+        back = GroupedIOWriter.read_global(paths, mesh.nc)
+        np.testing.assert_allclose(back, gfield)
+
+    def test_writer_count_scales_with_groups(self, mesh, subs, tmp_path):
+        per = [np.zeros(s.local_cells.size) for s in subs]
+        w_all = GroupedIOWriter(subs, str(tmp_path / "a"), group_size=1)
+        w_grouped = GroupedIOWriter(subs, str(tmp_path / "b"), group_size=4)
+        w_all.write("x", per)
+        w_grouped.write("x", per)
+        assert w_all.write_count == 4
+        assert w_grouped.write_count == 1
+
+    def test_missing_shard_detected(self, mesh, subs, tmp_path):
+        per = [np.zeros(s.local_cells.size) for s in subs]
+        w = GroupedIOWriter(subs, str(tmp_path), group_size=2)
+        paths = w.write("T", per)
+        with pytest.raises(ValueError):
+            GroupedIOWriter.read_global(paths[:1], mesh.nc)

@@ -1,0 +1,128 @@
+"""Tests of the icosahedral triangulation generator."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.icosahedral import (
+    base_icosahedron,
+    grid_cell_count,
+    grid_edge_count,
+    grid_mean_spacing_km,
+    grid_resolution_range_km,
+    grid_vertex_count,
+    icosahedral_triangulation,
+    subdivide,
+)
+
+
+class TestBaseIcosahedron:
+    def test_counts(self):
+        points, faces = base_icosahedron()
+        assert points.shape == (12, 3)
+        assert faces.shape == (20, 3)
+
+    def test_unit_vectors(self):
+        points, _ = base_icosahedron()
+        np.testing.assert_allclose(np.linalg.norm(points, axis=1), 1.0, atol=1e-14)
+
+    def test_faces_outward_oriented(self):
+        points, faces = base_icosahedron()
+        p0, p1, p2 = points[faces[:, 0]], points[faces[:, 1]], points[faces[:, 2]]
+        normal = np.cross(p1 - p0, p2 - p0)
+        centroid = (p0 + p1 + p2) / 3.0
+        assert np.all(np.einsum("ij,ij->i", normal, centroid) > 0)
+
+    def test_every_vertex_in_five_faces(self):
+        _, faces = base_icosahedron()
+        counts = np.bincount(faces.ravel(), minlength=12)
+        assert np.all(counts == 5)
+
+    def test_all_edges_shared_by_two_faces(self):
+        _, faces = base_icosahedron()
+        ea = faces[:, [0, 1, 2]].ravel()
+        eb = faces[:, [1, 2, 0]].ravel()
+        pairs = np.sort(np.stack([ea, eb], axis=1), axis=1)
+        _, counts = np.unique(pairs, axis=0, return_counts=True)
+        assert np.all(counts == 2)
+
+
+class TestSubdivide:
+    def test_one_level_counts(self):
+        points, faces = base_icosahedron()
+        p2, f2 = subdivide(points, faces)
+        assert p2.shape[0] == 42
+        assert f2.shape[0] == 80
+
+    def test_midpoints_on_sphere(self):
+        points, faces = base_icosahedron()
+        p2, _ = subdivide(points, faces)
+        np.testing.assert_allclose(np.linalg.norm(p2, axis=1), 1.0, atol=1e-14)
+
+    def test_original_points_preserved(self):
+        points, faces = base_icosahedron()
+        p2, _ = subdivide(points, faces)
+        np.testing.assert_array_equal(p2[:12], points)
+
+
+class TestTriangulation:
+    @pytest.mark.parametrize("level", [0, 1, 2, 3, 4])
+    def test_closed_form_counts(self, level):
+        points, faces = icosahedral_triangulation(level)
+        assert points.shape[0] == grid_cell_count(level)
+        assert faces.shape[0] == grid_vertex_count(level)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            icosahedral_triangulation(-1)
+
+    @given(st.integers(min_value=0, max_value=3))
+    @settings(max_examples=4, deadline=None)
+    def test_euler_characteristic(self, level):
+        points, faces = icosahedral_triangulation(level)
+        ea = faces[:, [0, 1, 2]].ravel()
+        eb = faces[:, [1, 2, 0]].ravel()
+        pairs = np.sort(np.stack([ea, eb], axis=1), axis=1)
+        n_edges = np.unique(pairs, axis=0).shape[0]
+        assert points.shape[0] - n_edges + faces.shape[0] == 2
+        assert n_edges == grid_edge_count(level)
+
+
+class TestTable2Counts:
+    """Table 2's cell/edge/vertex columns follow the closed formulas."""
+
+    @pytest.mark.parametrize(
+        "level,cells,edges,vertices",
+        [
+            (6, 40_962, 122_880, 81_920),              # 41.0K / 123K / 81.9K
+            (8, 655_362, 1_966_080, 1_310_720),        # 655K / 1.97M / 1.31M
+            (9, 2_621_442, 7_864_320, 5_242_880),      # 2.62M / 7.86M / 5.24M
+            (10, 10_485_762, 31_457_280, 20_971_520),  # 10.5M / 31.5M / 21.0M
+            (11, 41_943_042, 125_829_120, 83_886_080), # 41.9M / 126M / 83.9M
+            (12, 167_772_162, 503_316_480, 335_544_320),  # 167M / 503M / 336M
+        ],
+    )
+    def test_paper_counts(self, level, cells, edges, vertices):
+        assert grid_cell_count(level) == cells
+        assert grid_edge_count(level) == edges
+        assert grid_vertex_count(level) == vertices
+
+    def test_g6_resolution_range_matches_table2(self):
+        lo, hi = grid_resolution_range_km(6)
+        # Table 2: 92.5 ~ 113 km
+        assert 85.0 < lo < 100.0
+        assert 105.0 < hi < 120.0
+
+    def test_g12_resolution_is_km_scale(self):
+        lo, hi = grid_resolution_range_km(12)
+        # Table 2: 1.47 ~ 1.92 km
+        assert 1.2 < lo < 1.7
+        assert 1.6 < hi < 2.1
+
+    def test_mean_spacing_decreases_4x_per_2_levels(self):
+        r6 = grid_mean_spacing_km(6)
+        r8 = grid_mean_spacing_km(8)
+        assert r6 / r8 == pytest.approx(4.0, rel=1e-3)

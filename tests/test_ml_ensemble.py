@@ -1,0 +1,80 @@
+"""Tests of the tendency-network ensemble (paper reference [13])."""
+
+import numpy as np
+import pytest
+
+from repro.ml.ensemble import TendencyEnsemble
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(600, 5, 6))
+    y = np.stack([0.5 * x[:, 2] + x[:, 3], -0.4 * x[:, 3]], axis=1)
+    ens = TendencyEnsemble(nlev=6, n_members=3, width=16, n_resunits=1)
+    losses = ens.fit(x, y, epochs=15, lr=3e-3, seed=0)
+    return ens, x, y, losses
+
+
+class TestEnsemble:
+    def test_members_differ(self, trained):
+        ens, x, *_ = trained
+        p0 = ens.members[0].predict(x[:10])
+        p1 = ens.members[1].predict(x[:10])
+        assert not np.allclose(p0, p1)
+
+    def test_all_members_learned(self, trained):
+        ens, x, y, losses = trained
+        assert all(l < 1.0 for l in losses)
+
+    def test_mean_at_least_as_good_as_worst_member(self, trained):
+        ens, x, y, _ = trained
+        mean, _ = ens.predict_with_spread(x)
+        err_mean = ((mean - y) ** 2).mean()
+        errs = [((m.predict(x) - y) ** 2).mean() for m in ens.members]
+        assert err_mean <= max(errs) + 1e-12
+
+    def test_spread_positive_and_shaped(self, trained):
+        ens, x, *_ = trained
+        mean, spread = ens.predict_with_spread(x[:20])
+        assert mean.shape == (20, 2, 6)
+        assert spread.shape == (20, 2, 6)
+        assert np.all(spread >= 0.0)
+        assert spread.max() > 0.0
+
+    def test_ood_inputs_have_larger_spread(self, trained):
+        """Out-of-distribution inputs spread the members more."""
+        ens, x, *_ = trained
+        _, spread_in = ens.predict_with_spread(x[:100])
+        rng = np.random.default_rng(1)
+        x_ood = rng.normal(size=(100, 5, 6)) * 8.0      # far outside training
+        _, spread_out = ens.predict_with_spread(x_ood)
+        assert spread_out.mean() > 1.5 * spread_in.mean()
+
+    def test_damping_reduces_ood_magnitude(self, trained):
+        ens, x, *_ = trained
+        rng = np.random.default_rng(2)
+        x_ood = rng.normal(size=(50, 5, 6)) * 8.0
+        mean, _ = ens.predict_with_spread(x_ood)
+        damped = ens.predict(x_ood)
+        assert np.abs(damped).sum() <= np.abs(mean).sum()
+
+    def test_q1q2_interface(self, trained):
+        ens, *_ = trained
+        rng = np.random.default_rng(3)
+        profiles = [rng.normal(size=(7, 6)) for _ in range(5)]
+        q1, q2 = ens.predict_q1q2(*profiles)
+        assert q1.shape == (7, 6)
+        assert q2.shape == (7, 6)
+
+    def test_single_member_is_plain_net(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(100, 5, 4))
+        y = rng.normal(size=(100, 2, 4))
+        ens = TendencyEnsemble(nlev=4, n_members=1, width=8, n_resunits=1)
+        ens.fit(x, y, epochs=1)
+        np.testing.assert_allclose(ens.predict(x), ens.members[0].predict(x))
+
+    def test_zero_members_rejected(self):
+        with pytest.raises(ValueError):
+            TendencyEnsemble(nlev=4, n_members=0)

@@ -1,0 +1,183 @@
+"""Tests of the NumPy NN framework: layers, gradients, optimisers,
+training protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.layers import Conv1D, Dense, ReLU
+from repro.ml.network import ResUnit, Sequential, gradient_check
+from repro.ml.optimizer import SGD, Adam
+from repro.ml.training import Normalizer, Trainer, train_test_split_by_day
+
+
+class TestDense:
+    def test_forward_shape(self):
+        d = Dense(5, 3)
+        y = d.forward(np.zeros((7, 5)))
+        assert y.shape == (7, 3)
+
+    def test_gradient_check(self, rng):
+        net = Sequential(Dense(6, 10), ReLU(), Dense(10, 4))
+        err = gradient_check(net, rng.normal(size=(8, 6)))
+        assert err < 1e-5
+
+    def test_linearity(self, rng):
+        d = Dense(4, 2)
+        x = rng.normal(size=(3, 4))
+        y1 = d.forward(2.0 * x, train=False)
+        y2 = 2.0 * d.forward(x, train=False) - d.b
+        np.testing.assert_allclose(y1, y2, atol=1e-12)
+
+
+class TestConv1D:
+    def test_same_padding_shape(self, rng):
+        c = Conv1D(3, 5, k=3)
+        y = c.forward(rng.normal(size=(2, 3, 11)))
+        assert y.shape == (2, 5, 11)
+
+    def test_1x1_kernel_is_pointwise(self, rng):
+        c = Conv1D(3, 2, k=1)
+        x = rng.normal(size=(4, 3, 7))
+        y = c.forward(x, train=False)
+        manual = np.einsum("oi,bil->bol", c.W[:, :, 0], x) + c.b[None, :, None]
+        np.testing.assert_allclose(y, manual, atol=1e-12)
+
+    def test_translation_equivariance_interior(self, rng):
+        """Shifting the input shifts the output (away from boundaries)."""
+        c = Conv1D(2, 2, k=3)
+        x = rng.normal(size=(1, 2, 20))
+        xs = np.roll(x, 3, axis=2)
+        y = c.forward(x, train=False)
+        ys = c.forward(xs, train=False)
+        np.testing.assert_allclose(ys[:, :, 5:17], np.roll(y, 3, axis=2)[:, :, 5:17],
+                                   atol=1e-12)
+
+    def test_gradient_check(self, rng):
+        net = Sequential(Conv1D(2, 6, 3), ReLU(), Conv1D(6, 2, 3))
+        err = gradient_check(net, rng.normal(size=(3, 2, 9)))
+        assert err < 1e-5
+
+    def test_even_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            Conv1D(2, 2, k=4)
+
+
+class TestResUnit:
+    def test_identity_at_zero_weights(self, rng):
+        inner = Dense(5, 5)
+        inner.W[:] = 0.0
+        inner.b[:] = 0.0
+        r = ResUnit(inner)
+        x = rng.normal(size=(4, 5))
+        np.testing.assert_array_equal(r.forward(x), x)
+
+    def test_gradient_check(self, rng):
+        net = Sequential(
+            Dense(4, 8), ReLU(),
+            ResUnit(Dense(8, 8), ReLU(), Dense(8, 8)),
+            ResUnit(Dense(8, 8), ReLU()),
+            Dense(8, 2),
+        )
+        err = gradient_check(net, rng.normal(size=(6, 4)))
+        assert err < 1e-5
+
+    def test_shape_change_rejected(self, rng):
+        r = ResUnit(Dense(4, 5))
+        with pytest.raises(ValueError):
+            r.forward(rng.normal(size=(2, 4)))
+
+
+class TestOptimizers:
+    def _quadratic_net(self):
+        d = Dense(3, 1, rng=np.random.default_rng(0))
+        return Sequential(d)
+
+    @pytest.mark.parametrize("opt_cls,kw", [(SGD, {"lr": 0.05}), (Adam, {"lr": 0.05})])
+    def test_converges_on_linear_regression(self, opt_cls, kw, rng):
+        net = self._quadratic_net()
+        opt = opt_cls(net, **kw)
+        w_true = np.array([[1.0], [-2.0], [0.5]])
+        x = rng.normal(size=(256, 3))
+        y = x @ w_true + 0.3
+        for _ in range(400):
+            pred = net.forward(x)
+            diff = pred - y
+            opt.zero_grad()
+            net.backward(2.0 * diff / diff.size)
+            opt.step()
+        loss = float(((net.forward(x, train=False) - y) ** 2).mean())
+        assert loss < 1e-3
+
+    def test_adam_steps_bounded_by_lr(self):
+        net = Sequential(Dense(2, 2))
+        opt = Adam(net, lr=0.01)
+        p0 = {k: v.copy() for k, v in net.params().items()}
+        for g in net.grads().values():
+            g[:] = 1e9                       # huge gradient
+        opt.step()
+        for k, v in net.params().items():
+            assert np.abs(v - p0[k]).max() < 0.011   # ~lr per step
+
+
+class TestTrainer:
+    def test_loss_decreases(self, rng):
+        x = rng.normal(size=(300, 4))
+        y = x[:, :2] * 2.0
+        net = Sequential(Dense(4, 16), ReLU(), Dense(16, 2))
+        tr = Trainer(net, lr=3e-3)
+        h = tr.fit(x, y, epochs=25, batch_size=32)
+        assert h.train_loss[-1] < 0.3 * h.train_loss[0]
+
+    def test_test_loss_recorded(self, rng):
+        x = rng.normal(size=(100, 3))
+        y = x.sum(axis=1, keepdims=True)
+        net = Sequential(Dense(3, 1))
+        tr = Trainer(net, lr=1e-2)
+        h = tr.fit(x[:80], y[:80], epochs=3, x_test=x[80:], y_test=y[80:])
+        assert len(h.test_loss) == 3
+
+
+class TestSplitProtocol:
+    def test_seven_to_one_ratio(self):
+        """Paper: 3 random test steps per 24-step day -> exactly 7:1."""
+        tr, te = train_test_split_by_day(480, steps_per_day=24, test_per_day=3)
+        assert tr.size / te.size == 7.0
+        assert te.size == 60
+
+    def test_no_overlap_full_cover(self):
+        tr, te = train_test_split_by_day(240)
+        assert np.intersect1d(tr, te).size == 0
+        assert np.union1d(tr, te).size == 240
+
+    def test_three_test_steps_each_day(self):
+        _, te = train_test_split_by_day(240, steps_per_day=24, test_per_day=3)
+        days = te // 24
+        counts = np.bincount(days, minlength=10)
+        assert np.all(counts == 3)
+
+    def test_reproducible(self):
+        a = train_test_split_by_day(100, seed=5)
+        b = train_test_split_by_day(100, seed=5)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    @given(st.integers(min_value=24, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_property_partition(self, n):
+        tr, te = train_test_split_by_day(n)
+        assert np.union1d(tr, te).size == n
+        assert np.intersect1d(tr, te).size == 0
+
+
+class TestNormalizer:
+    def test_roundtrip(self, rng):
+        x = rng.normal(3.0, 5.0, size=(50, 4))
+        nz = Normalizer().fit(x)
+        np.testing.assert_allclose(nz.inverse(nz.transform(x)), x, atol=1e-10)
+
+    def test_standardises(self, rng):
+        x = rng.normal(3.0, 5.0, size=(500, 4))
+        z = Normalizer().fit(x).transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-6)

@@ -1,0 +1,172 @@
+"""Tests of the model assembly: Table 2/3 configs, the coupling
+interface, and the assembled GristModel."""
+
+import numpy as np
+import pytest
+
+from repro.dycore.state import solid_body_rotation_state, tropical_profile_state
+from repro.dycore.vertical import VerticalCoordinate
+from repro.grid.mesh import build_mesh
+from repro.model.config import (
+    TABLE2_GRIDS,
+    TABLE3_SCHEMES,
+    scaled_grid_config,
+)
+from repro.model.coupler import CouplingInterface
+from repro.model.grist import GristModel
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return build_mesh(2)
+
+
+@pytest.fixture(scope="module")
+def vc():
+    return VerticalCoordinate.stretched(8)
+
+
+class TestTable2:
+    def test_all_rows_present(self):
+        assert set(TABLE2_GRIDS) == {"G12", "G11W", "G11S", "G10", "G9", "G8", "G6"}
+
+    def test_g12_row(self):
+        g = TABLE2_GRIDS["G12"]
+        assert g.level == 12
+        assert g.nlev == 30
+        assert (g.dt_dyn, g.dt_tracer, g.dt_physics, g.dt_radiation) == (
+            4.0, 30.0, 60.0, 180.0
+        )
+        assert g.cells == 167_772_162
+        assert g.edges == 503_316_480
+        assert g.vertices == 335_544_320
+
+    def test_g11_strong_vs_weak_timesteps(self):
+        """G11W shares G12's timestep; G11S doubles everything."""
+        w, s = TABLE2_GRIDS["G11W"], TABLE2_GRIDS["G11S"]
+        assert w.cells == s.cells == 41_943_042
+        assert s.dt_dyn == 2 * w.dt_dyn
+        assert s.dt_radiation == 2 * w.dt_radiation
+
+    def test_timestep_ratios(self):
+        g = TABLE2_GRIDS["G12"]
+        assert g.tracer_ratio == 8          # 30/4 rounded
+        assert g.physics_ratio == 15
+        assert g.radiation_ratio == 3
+
+    def test_g6_resolution_column(self):
+        lo, hi = TABLE2_GRIDS["G6"].resolution_km
+        assert 85 < lo < 100 and 105 < hi < 120   # "92.5~113"
+
+    def test_scaled_config_cfl(self):
+        """Laptop configs keep the gravity-wave Courant number ~0.2."""
+        from repro.grid.icosahedral import grid_mean_spacing_km
+
+        for level in (2, 3, 4):
+            cfg = scaled_grid_config(level)
+            dx = grid_mean_spacing_km(level) * 1000.0
+            assert 0.15 < cfg.dt_dyn * 340.0 / dx < 0.25
+
+
+class TestTable3:
+    def test_all_four_schemes(self):
+        assert set(TABLE3_SCHEMES) == {"DP-PHY", "DP-ML", "MIX-PHY", "MIX-ML"}
+
+    def test_scheme_flags(self):
+        assert not TABLE3_SCHEMES["DP-PHY"].mixed_precision
+        assert not TABLE3_SCHEMES["DP-PHY"].ml_physics
+        assert TABLE3_SCHEMES["MIX-ML"].mixed_precision
+        assert TABLE3_SCHEMES["MIX-ML"].ml_physics
+        assert TABLE3_SCHEMES["MIX-PHY"].mixed_precision
+        assert not TABLE3_SCHEMES["MIX-PHY"].ml_physics
+
+
+class TestCouplingInterface:
+    def test_extract_field_set(self, mesh, vc):
+        """Section 3.2.4's variable list: U, V, T, Q, P, tskin, coszr."""
+        st = solid_body_rotation_state(mesh, vc)
+        coupler = CouplingInterface(mesh)
+        f = coupler.extract(st, np.full(mesh.nc, 290.0), np.zeros(mesh.nc))
+        for name in ("u", "v", "t", "q", "p", "tskin", "coszr"):
+            assert hasattr(f, name)
+        assert f.u.shape == (mesh.nc, vc.nlev)
+        assert f.t.shape == (mesh.nc, vc.nlev)
+        assert f.tskin.shape == (mesh.nc,)
+
+    def test_extract_zonal_wind(self, mesh, vc):
+        """Solid-body rotation: u ~ u0 cos(lat), v ~ 0."""
+        st = solid_body_rotation_state(mesh, vc, u0=20.0)
+        coupler = CouplingInterface(mesh)
+        f = coupler.extract(st, np.full(mesh.nc, 290.0), np.zeros(mesh.nc))
+        expected = 20.0 * np.cos(mesh.cell_lat)
+        err = np.abs(f.u[:, 0] - expected).max() / 20.0
+        assert err < 0.15
+        assert np.abs(f.v).max() < 4.0
+
+    def test_apply_tendencies_updates_state(self, mesh, vc):
+        st = tropical_profile_state(mesh, vc)
+        coupler = CouplingInterface(mesh)
+        theta0 = st.theta.copy()
+        qv0 = st.tracers["qv"].copy()
+        dtheta = np.full_like(st.theta, 1e-4)
+        dqv = np.full_like(qv0, -1e-7)
+        coupler.apply_tendencies(
+            st, dtheta, dqv, None, None, np.zeros(mesh.nc), 600.0
+        )
+        np.testing.assert_allclose(st.theta - theta0, 0.06)
+        assert np.all(st.tracers["qv"] <= qv0)
+        assert st.tracers["qv"].min() >= 0.0
+
+    def test_surface_drag_slows_lowest_layers(self, mesh, vc):
+        st = solid_body_rotation_state(mesh, vc)
+        coupler = CouplingInterface(mesh)
+        u0 = st.u.copy()
+        drag = np.full(mesh.nc, 0.05)
+        coupler.apply_tendencies(
+            st, np.zeros_like(st.theta), np.zeros_like(st.theta),
+            None, None, drag, 600.0,
+        )
+        # Lowest layer damped, top untouched.
+        assert np.all(np.abs(st.u[:, -1]) <= np.abs(u0[:, -1]) + 1e-12)
+        np.testing.assert_array_equal(st.u[:, 0], u0[:, 0])
+        assert np.abs(st.u[:, -1]).max() < np.abs(u0[:, -1]).max()
+
+
+class TestGristModel:
+    def test_conventional_coupled_run(self, mesh, vc):
+        cfg = scaled_grid_config(2, vc.nlev)
+        model = GristModel(mesh, vc, cfg, TABLE3_SCHEMES["DP-PHY"])
+        st = tropical_profile_state(mesh, vc)
+        st = model.run_hours(st, 8.0)
+        assert np.isfinite(st.theta).all()
+        assert len(model.history.precip) >= 1
+        assert model.history.mean_precip().min() >= 0.0
+
+    def test_mixed_precision_scheme_sets_policy(self, mesh, vc):
+        cfg = scaled_grid_config(2, vc.nlev)
+        model = GristModel(mesh, vc, cfg, TABLE3_SCHEMES["MIX-PHY"])
+        assert model.dycore.config.policy.mixed
+        model_dp = GristModel(mesh, vc, cfg, TABLE3_SCHEMES["DP-PHY"])
+        assert not model_dp.dycore.config.policy.mixed
+
+    def test_ml_scheme_requires_suite(self, mesh, vc):
+        cfg = scaled_grid_config(2, vc.nlev)
+        with pytest.raises(ValueError):
+            GristModel(mesh, vc, cfg, TABLE3_SCHEMES["DP-ML"])
+
+    def test_physics_cadence(self, mesh, vc):
+        cfg = scaled_grid_config(2, vc.nlev)
+        model = GristModel(mesh, vc, cfg, TABLE3_SCHEMES["DP-PHY"])
+        st = tropical_profile_state(mesh, vc)
+        n_steps = cfg.physics_ratio * 3
+        model.run(st, n_steps)
+        assert len(model.history.precip) == 3
+
+    def test_history_records_diagnostics(self, mesh, vc):
+        cfg = scaled_grid_config(2, vc.nlev)
+        model = GristModel(mesh, vc, cfg, TABLE3_SCHEMES["DP-PHY"])
+        st = tropical_profile_state(mesh, vc)
+        model.run(st, cfg.physics_ratio)
+        assert len(model.history.gsw) == 1
+        assert len(model.history.tskin_mean) == 1
+        assert 200.0 < model.history.tskin_mean[0] < 320.0

@@ -1,0 +1,198 @@
+"""Tests of the distributed-memory execution layer: local meshes,
+cell+edge aggregated exchange, and serial-equivalence of the driver."""
+
+import numpy as np
+import pytest
+
+from repro.dycore.solver import DycoreConfig, DynamicalCore
+from repro.dycore.state import baroclinic_wave_state, solid_body_rotation_state
+from repro.dycore.vertical import VerticalCoordinate
+from repro.grid.mesh import PAD, build_mesh
+from repro.parallel.driver import DistributedDycore
+from repro.parallel.exchange import EdgeCellExchanger
+from repro.parallel.localmesh import build_local_meshes
+from repro.partition.decomposition import decompose
+from repro.partition.graph import mesh_cell_graph
+from repro.partition.metis import partition_graph
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return build_mesh(3)
+
+
+@pytest.fixture(scope="module")
+def setup(mesh):
+    part = partition_graph(mesh_cell_graph(mesh), 4, seed=0)
+    subs = decompose(mesh, 4, part=part)
+    locals_ = build_local_meshes(mesh, subs, part)
+    return part, subs, locals_
+
+
+class TestLocalMesh:
+    def test_owned_cells_lead_numbering(self, setup):
+        part, subs, locals_ = setup
+        for lm, sub in zip(locals_, subs):
+            np.testing.assert_array_equal(
+                lm.cells[: lm.n_owned_cells], sub.local_cells[: sub.n_owned]
+            )
+
+    def test_two_ring_halo(self, mesh, setup):
+        """Every neighbour of a first-ring halo cell is local."""
+        part, subs, locals_ = setup
+        for lm, sub in zip(locals_, subs):
+            local_set = set(lm.cells.tolist())
+            halo1 = sub.local_cells[sub.n_owned:]
+            for c in halo1:
+                for nb in mesh.cell_neighbors[c]:
+                    if nb != PAD:
+                        assert int(nb) in local_set
+
+    def test_local_edges_cover_ring1_cells(self, mesh, setup):
+        part, subs, locals_ = setup
+        for lm, sub in zip(locals_, subs):
+            edge_set = set(lm.edges.tolist())
+            for c in sub.local_cells:
+                for e in mesh.cell_edges[c]:
+                    if e != PAD:
+                        assert int(e) in edge_set
+
+    def test_local_edge_endpoints_resolve(self, setup):
+        """Both cells of every local edge are local (no dangling refs)."""
+        part, subs, locals_ = setup
+        for lm in locals_:
+            assert lm.mesh.edge_cells.min() >= 0
+            assert lm.mesh.edge_cells.max() < lm.n_cells
+
+    def test_edge_ownership_partition(self, mesh, setup):
+        """Every global edge is owned by exactly one rank."""
+        part, subs, locals_ = setup
+        owned = np.concatenate([lm.edges[: lm.n_owned_edges] for lm in locals_])
+        assert np.array_equal(np.sort(owned), np.arange(mesh.ne))
+
+    def test_geometry_preserved(self, mesh, setup):
+        part, subs, locals_ = setup
+        for lm in locals_:
+            np.testing.assert_array_equal(lm.mesh.de, mesh.de[lm.edges])
+            np.testing.assert_array_equal(
+                lm.mesh.cell_area, mesh.cell_area[lm.cells]
+            )
+
+    def test_send_recv_mirrors(self, setup):
+        part, subs, locals_ = setup
+        for lm in locals_:
+            for r, recv_idx in lm.cell_recv.items():
+                peer = locals_[r]
+                send_idx = peer.cell_send[lm.rank]
+                np.testing.assert_array_equal(
+                    peer.cells[send_idx], lm.cells[recv_idx]
+                )
+            for r, recv_idx in lm.edge_recv.items():
+                peer = locals_[r]
+                send_idx = peer.edge_send[lm.rank]
+                np.testing.assert_array_equal(
+                    peer.edges[send_idx], lm.edges[recv_idx]
+                )
+
+
+class TestEdgeCellExchanger:
+    def test_fills_cell_and_edge_halos(self, mesh, setup):
+        part, subs, locals_ = setup
+        rng = np.random.default_rng(0)
+        gc = rng.normal(size=(mesh.nc, 3))
+        ge = rng.normal(size=(mesh.ne, 3))
+        pc = [lm.scatter_cell_field(gc) for lm in locals_]
+        pe = [lm.scatter_edge_field(ge) for lm in locals_]
+        for lm, a, b in zip(locals_, pc, pe):
+            a[lm.n_owned_cells:] = np.nan
+            b[lm.n_owned_edges:] = np.nan
+        ex = EdgeCellExchanger(locals_)
+        ex.register_cell("c", pc)
+        ex.register_edge("e", pe)
+        ex.exchange()
+        for lm, a, b in zip(locals_, pc, pe):
+            np.testing.assert_allclose(a, gc[lm.cells])
+            np.testing.assert_allclose(b, ge[lm.edges])
+
+    def test_single_message_per_pair(self, mesh, setup):
+        part, subs, locals_ = setup
+        ex = EdgeCellExchanger(locals_)
+        rng = np.random.default_rng(1)
+        for i in range(3):
+            ex.register_cell(f"c{i}", [lm.scatter_cell_field(rng.normal(size=mesh.nc)) for lm in locals_])
+        ex.register_edge("u", [lm.scatter_edge_field(rng.normal(size=mesh.ne)) for lm in locals_])
+        ex.comm.stats.reset()
+        ex.exchange()
+        assert ex.comm.stats.messages == ex.messages_per_exchange()
+
+    def test_shape_check(self, setup):
+        part, subs, locals_ = setup
+        ex = EdgeCellExchanger(locals_)
+        with pytest.raises(ValueError):
+            ex.register_cell("bad", [np.zeros(3) for _ in locals_])
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("nparts", [2, 4, 7])
+    def test_solid_body_bitwise(self, mesh, nparts):
+        vc = VerticalCoordinate.uniform(5)
+        st0 = solid_body_rotation_state(mesh, vc)
+        serial = DynamicalCore(mesh, vc, DycoreConfig(dt=600.0))
+        s = st0.copy()
+        for _ in range(4):
+            s = serial.step(s)
+        dist = DistributedDycore(mesh, vc, DycoreConfig(dt=600.0), nparts=nparts)
+        dist.scatter(st0)
+        dist.run(4)
+        ps, u, theta = dist.gather()
+        np.testing.assert_array_equal(ps, s.ps)
+        np.testing.assert_array_equal(u, s.u)
+        np.testing.assert_array_equal(theta, s.theta)
+
+    def test_baroclinic_wave_bitwise(self, mesh):
+        vc = VerticalCoordinate.uniform(5)
+        st0 = baroclinic_wave_state(mesh, vc)
+        serial = DynamicalCore(mesh, vc, DycoreConfig(dt=450.0))
+        s = st0.copy()
+        for _ in range(6):
+            s = serial.step(s)
+        dist = DistributedDycore(mesh, vc, DycoreConfig(dt=450.0), nparts=5)
+        dist.scatter(st0)
+        dist.run(6)
+        ps, u, theta = dist.gather()
+        np.testing.assert_array_equal(ps, s.ps)
+        np.testing.assert_array_equal(u, s.u)
+
+    def test_mixed_precision_distributed(self, mesh):
+        """The MIX policy decomposes identically too."""
+        from repro.precision.policy import PrecisionPolicy
+
+        vc = VerticalCoordinate.uniform(5)
+        cfg = DycoreConfig(dt=600.0, policy=PrecisionPolicy(mixed=True))
+        st0 = solid_body_rotation_state(mesh, vc)
+        serial = DynamicalCore(mesh, vc, cfg)
+        s = st0.copy()
+        for _ in range(3):
+            s = serial.step(s)
+        dist = DistributedDycore(mesh, vc, cfg, nparts=4)
+        dist.scatter(st0)
+        dist.run(3)
+        ps, u, theta = dist.gather()
+        np.testing.assert_array_equal(ps, s.ps)
+        np.testing.assert_array_equal(u, s.u)
+
+    def test_requires_scatter_first(self, mesh):
+        vc = VerticalCoordinate.uniform(5)
+        dist = DistributedDycore(mesh, vc, DycoreConfig(dt=600.0), nparts=2)
+        with pytest.raises(RuntimeError):
+            dist.step()
+
+    def test_comm_accounting(self, mesh):
+        vc = VerticalCoordinate.uniform(5)
+        dist = DistributedDycore(mesh, vc, DycoreConfig(dt=600.0), nparts=4)
+        dist.scatter(solid_body_rotation_state(mesh, vc))
+        dist.run(2)
+        stats = dist.comm_stats()
+        # 3 RK stages + 1 pre-sponge exchange per step, x 2 steps.
+        assert stats["messages"] == 8 * stats["messages_per_exchange"]
+        assert stats["bytes"] > 0

@@ -1,0 +1,100 @@
+"""Tests of the spherical-harmonic spectrum diagnostics."""
+
+import numpy as np
+import pytest
+from scipy.special import sph_harm_y
+
+from repro.dycore.spectra import (
+    effective_resolution,
+    kinetic_energy_spectrum,
+    power_spectrum,
+    spherical_harmonic_coeffs,
+)
+from repro.grid.mesh import build_mesh
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return build_mesh(3)
+
+
+class TestProjection:
+    def test_constant_field_is_l0(self, mesh):
+        power = power_spectrum(mesh, np.full(mesh.nc, 2.0), lmax=6)
+        assert power[0] > 0.0
+        assert power[1:].max() < 1e-20 * power[0]
+
+    def test_single_harmonic_recovered(self, mesh):
+        """A pure Y_3^2 projects onto exactly l=3."""
+        lon = np.arctan2(mesh.cell_xyz[:, 1], mesh.cell_xyz[:, 0])
+        colat = np.pi / 2 - mesh.cell_lat
+        field = np.sqrt(2.0) * sph_harm_y(3, 2, colat, lon).real
+        power = power_spectrum(mesh, field, lmax=8)
+        assert power[3] > 0.99 * power.sum()
+
+    def test_parseval_band_limited(self, mesh):
+        """For a band-limited field, sum of power equals the weighted
+        mean square (the basis is orthonormal on the sphere)."""
+        lon = np.arctan2(mesh.cell_xyz[:, 1], mesh.cell_xyz[:, 0])
+        colat = np.pi / 2 - mesh.cell_lat
+        field = (
+            1.5 * sph_harm_y(1, 0, colat, lon).real
+            + 0.5 * np.sqrt(2) * sph_harm_y(4, 1, colat, lon).real
+        )
+        power = power_spectrum(mesh, field, lmax=8)
+        w = mesh.cell_area / mesh.cell_area.sum()
+        ms = 4.0 * np.pi * (w * field**2).sum()
+        assert power.sum() == pytest.approx(ms, rel=1e-3)
+
+    def test_coefficients_shape(self, mesh):
+        coeffs, l_of = spherical_harmonic_coeffs(mesh, np.ones(mesh.nc), lmax=5)
+        assert coeffs.size == 36
+        assert l_of.max() == 5
+
+    def test_lmax_too_high_rejected(self):
+        small = build_mesh(1)
+        with pytest.raises(ValueError):
+            power_spectrum(small, np.ones(small.nc), lmax=10)
+
+
+class TestKESpectrum:
+    def test_solid_body_flow_is_large_scale(self, mesh):
+        """Solid-body rotation: u_lon ~ cos(lat), whose scalar expansion
+        lives in the even low wavenumbers (l=0 mean + l=2)."""
+        axis = np.array([0.0, 0.0, 10.0])
+        vel = np.cross(axis, mesh.edge_xyz)
+        un = np.einsum("ej,ej->e", vel, mesh.edge_normal)
+        spec = kinetic_energy_spectrum(mesh, un, lmax=6)
+        assert spec[0] + spec[2] > 0.95 * spec.sum()
+        assert spec[5] < 1e-3 * spec.sum()
+
+    def test_multilevel_selects_layer(self, mesh):
+        rng = np.random.default_rng(0)
+        u = rng.normal(size=(mesh.ne, 3))
+        s0 = kinetic_energy_spectrum(mesh, u, lmax=4, level=0)
+        s2 = kinetic_energy_spectrum(mesh, u, lmax=4, level=2)
+        assert not np.allclose(s0, s2)
+
+    def test_model_run_spectrum_decays(self, mesh):
+        """After a damped model run the KE spectrum tail falls off."""
+        from repro.dycore.solver import DycoreConfig, DynamicalCore
+        from repro.dycore.state import baroclinic_wave_state
+        from repro.dycore.vertical import VerticalCoordinate
+
+        vc = VerticalCoordinate.uniform(5)
+        st = baroclinic_wave_state(mesh, vc)
+        core = DynamicalCore(mesh, vc, DycoreConfig(dt=450.0))
+        st = core.run(st, 24)
+        spec = kinetic_energy_spectrum(mesh, st.u, lmax=8, level=2)
+        peak_l = int(np.argmax(spec[1:]) + 1)
+        assert spec[8] < spec[peak_l]          # tail below the peak
+
+
+class TestEffectiveResolution:
+    def test_steep_spectrum(self):
+        power = np.array([0.0, 1.0, 0.5, 0.1, 1e-4, 1e-5])
+        assert effective_resolution(power, drop_factor=100.0) == 4
+
+    def test_flat_spectrum_returns_end(self):
+        power = np.ones(6)
+        assert effective_resolution(power) == 5

@@ -1,0 +1,168 @@
+"""Tests of the SWGOMP directive parser and the hybrid vertical
+coordinate extension."""
+
+import numpy as np
+import pytest
+
+from repro.sunway.directives import (
+    FIG4_SOURCE,
+    DirectiveError,
+    parse_directives,
+)
+
+
+class TestFig4:
+    """The paper's own Fig. 4 listing must parse into its launch plan."""
+
+    def test_two_target_regions(self):
+        plan = parse_directives(FIG4_SOURCE)
+        assert plan.n_target_regions == 2
+
+    def test_first_region_structure(self):
+        plan = parse_directives(FIG4_SOURCE)
+        first = plan.targets[0]
+        assert first.combined == ()
+        assert len(first.loops) == 1
+        assert first.loops[0].variable == "ie"
+        assert first.loops[0].nowait is True
+        assert set(first.private) == {"ie", "v1", "v2", "ilev"}
+
+    def test_second_region_is_workshare(self):
+        plan = parse_directives(FIG4_SOURCE)
+        second = plan.targets[1]
+        assert second.combined == ("parallel", "workshare")
+        assert len(second.workshares) == 1
+        assert second.workshares[0].statements == 1   # the array op
+
+    def test_unified_shared_memory_default(self):
+        """SWGOMP backports USM so no map clauses are needed."""
+        plan = parse_directives(FIG4_SOURCE)
+        assert plan.uses_unified_shared_memory
+
+
+class TestParserStructure:
+    def test_num_teams_clause(self):
+        plan = parse_directives(
+            "!$omp target num_teams(4)\n!$omp parallel\n!$omp do\n"
+            "do i = 1, n\nend do\n!$omp end do\n"
+            "!$omp end parallel\n!$omp end target\n"
+        )
+        assert plan.targets[0].num_teams == 4
+
+    def test_case_insensitive(self):
+        plan = parse_directives(
+            "!$OMP TARGET\n!$OMP PARALLEL\n!$OMP DO\ndo k = 1, n\nend do\n"
+            "!$OMP END DO\n!$OMP END PARALLEL\n!$OMP END TARGET\n"
+        )
+        assert plan.n_target_regions == 1
+        assert plan.targets[0].loops[0].variable == "k"
+
+    def test_plain_code_ignored(self):
+        plan = parse_directives("x = 1\n  call foo()\n! a comment\n")
+        assert plan.n_target_regions == 0
+
+    @pytest.mark.parametrize("source,msg", [
+        ("!$omp end target\n", "end target without"),
+        ("!$omp target\n", "unterminated target"),
+        ("!$omp do\n", "outside target"),
+        ("!$omp parallel\n", "outside a target"),
+        ("!$omp target\n!$omp target\n", "nested"),
+        ("!$omp target\n!$omp simd\n!$omp end target\n", "unsupported"),
+    ])
+    def test_malformed_rejected(self, source, msg):
+        with pytest.raises(DirectiveError, match=msg):
+            parse_directives(source)
+
+    def test_multiple_loops_one_region(self):
+        src = (
+            "!$omp target\n!$omp parallel\n"
+            "!$omp do\ndo i = 1, n\nend do\n!$omp end do\n"
+            "!$omp do\ndo j = 1, m\nend do\n!$omp end do nowait\n"
+            "!$omp end parallel\n!$omp end target\n"
+        )
+        plan = parse_directives(src)
+        region = plan.targets[0]
+        assert [loop.variable for loop in region.loops] == ["i", "j"]
+        assert [loop.nowait for loop in region.loops] == [False, True]
+
+
+class TestHybridVerticalCoordinate:
+    def setup_method(self):
+        from repro.dycore.vertical import HybridVerticalCoordinate
+
+        self.hv = HybridVerticalCoordinate.standard(10)
+
+    def test_boundary_identities(self):
+        np.testing.assert_allclose(self.hv.b_interfaces[0], 0.0)
+        np.testing.assert_allclose(self.hv.b_interfaces[-1], 1.0)
+        np.testing.assert_allclose(self.hv.a_interfaces[-1], 0.0)
+        assert self.hv.a_interfaces[0] == self.hv.ptop
+
+    def test_pressure_bracket(self):
+        ps = np.array([1.0e5, 9.2e4])
+        p = self.hv.pressure_interfaces(ps)
+        np.testing.assert_allclose(p[:, 0], self.hv.ptop)
+        np.testing.assert_allclose(p[:, -1], ps)
+        assert np.all(np.diff(p, axis=1) > 0)
+
+    def test_mass_closure(self):
+        ps = np.array([1.0e5, 8.5e4])
+        np.testing.assert_allclose(
+            self.hv.dpi(ps).sum(axis=1), ps - self.hv.ptop
+        )
+
+    def test_upper_levels_pressure_like(self):
+        """B ~ 0 aloft: upper interfaces don't move with ps."""
+        p_hi = self.hv.pressure_interfaces(np.array([1.0e5]))
+        p_lo = self.hv.pressure_interfaces(np.array([9.0e4]))
+        assert abs(p_hi[0, 2] - p_lo[0, 2]) < 1.0        # fixed aloft
+        assert p_hi[0, -1] - p_lo[0, -1] == pytest.approx(1.0e4)
+
+    def test_degenerate_sigma_equivalence(self):
+        """A = ptop(1-s), B = s reproduces the pure sigma coordinate."""
+        from repro.dycore.vertical import (
+            HybridVerticalCoordinate,
+            VerticalCoordinate,
+        )
+
+        s = np.linspace(0.0, 1.0, 9)
+        sig = VerticalCoordinate(s, ptop=225.0)
+        hyb = HybridVerticalCoordinate(225.0 * (1.0 - s), s)
+        ps = np.array([1.0e5, 9.5e4, 8.0e4])
+        np.testing.assert_allclose(
+            hyb.pressure_interfaces(ps), sig.pressure_interfaces(ps)
+        )
+        np.testing.assert_allclose(hyb.dpi(ps), sig.dpi(ps))
+
+    def test_invalid_boundaries_rejected(self):
+        from repro.dycore.vertical import HybridVerticalCoordinate
+
+        s = np.linspace(0.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            HybridVerticalCoordinate(225.0 * (1.0 - s), s * 0.9)   # B(end) != 1
+        with pytest.raises(ValueError):
+            HybridVerticalCoordinate(np.ones(5) * 100.0, s)        # A(end) != 0
+
+    def test_model_runs_on_hybrid(self):
+        from repro.dycore.solver import DycoreConfig, DynamicalCore
+        from repro.dycore.state import solid_body_rotation_state
+        from repro.grid.mesh import build_mesh
+
+        mesh = build_mesh(2)
+        st = solid_body_rotation_state(mesh, self.hv)
+        core = DynamicalCore(mesh, self.hv, DycoreConfig(dt=600.0))
+        m0 = st.total_dry_mass()
+        st2 = core.run(st, 12)
+        assert np.isfinite(st2.ps).all()
+        assert st2.total_dry_mass() == pytest.approx(m0, rel=1e-13)
+
+    def test_vertical_mass_flux_boundaries_on_hybrid(self):
+        from repro.dycore.tendencies import vertical_mass_flux
+        from repro.grid.mesh import build_mesh
+
+        mesh = build_mesh(1)
+        rng = np.random.default_rng(0)
+        D = rng.normal(size=(mesh.nc, self.hv.nlev))
+        M = vertical_mass_flux(mesh, self.hv.b_interfaces, D)
+        np.testing.assert_allclose(M[:, 0], 0.0, atol=1e-12)
+        np.testing.assert_allclose(M[:, -1], 0.0, atol=1e-12)

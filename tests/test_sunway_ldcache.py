@@ -1,0 +1,141 @@
+"""Tests of the LDCache simulator and the Fig. 6 thrashing mechanism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sunway.allocator import PoolAllocator
+from repro.sunway.ldcache import (
+    LDCache,
+    analytic_loop_hit_ratio,
+    loop_access_stream,
+    loop_hit_ratio,
+)
+
+
+class TestLDCacheBasics:
+    def test_geometry(self):
+        c = LDCache()
+        assert c.n_sets == 128
+        assert c.way_bytes == 32 * 1024
+        assert c.size_bytes == 128 * 1024
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            LDCache(size_bytes=1000, ways=3, line_bytes=256)
+
+    def test_first_access_misses_second_hits(self):
+        c = LDCache()
+        assert c.access(0x1000) is False
+        assert c.access(0x1000) is True
+        assert c.access(0x10FF) is True      # same line (256B)
+        assert c.access(0x1100) is False     # next line
+
+    def test_lru_eviction_order(self):
+        c = LDCache(size_bytes=4 * 256, ways=4, line_bytes=256)  # 1 set
+        for i in range(4):
+            c.access(i * 256)
+        assert c.access(0) is True           # 0 still resident
+        c.access(4 * 256)                    # evicts LRU = line 1
+        assert c.access(1 * 256) is False
+        assert c.access(0) is True
+
+    def test_stats_accumulate(self):
+        c = LDCache()
+        c.run(np.array([0, 0, 256, 256, 512]))
+        assert c.stats.accesses == 5
+        assert c.stats.hits == 2
+        assert c.stats.misses == 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=60))
+    @settings(max_examples=20, deadline=None)
+    def test_property_repeat_stream_all_hits(self, addrs):
+        """Re-running a short stream that fits in cache hits 100 %."""
+        lines = {a // 256 for a in addrs}
+        c = LDCache()
+        if len(lines) > c.ways:  # may not fit one set; restrict to few lines
+            return
+        c.run(np.array(addrs))
+        c.stats = type(c.stats)()
+        c.run(np.array(addrs))
+        assert c.stats.hit_ratio == 1.0
+
+
+class TestThrashingMechanism:
+    """The Fig. 6 story, measured on the real simulator."""
+
+    def _aligned_bases(self, k):
+        alloc = PoolAllocator(distribute=False)
+        return [alloc.malloc(40 * 1024, f"a{k}") for k in range(k)]
+
+    def _distributed_bases(self, k):
+        alloc = PoolAllocator(distribute=True)
+        return [alloc.malloc(40 * 1024, f"a{k}") for k in range(k)]
+
+    def test_few_arrays_no_thrash_even_aligned(self):
+        hr = loop_hit_ratio(self._aligned_bases(4), n_iters=2000)
+        assert hr > 0.9
+
+    def test_many_aligned_arrays_thrash(self):
+        hr = loop_hit_ratio(self._aligned_bases(6), n_iters=2000)
+        assert hr < 0.1
+
+    def test_distribution_fixes_thrash(self):
+        hr_aligned = loop_hit_ratio(self._aligned_bases(6), n_iters=2000)
+        hr_dist = loop_hit_ratio(self._distributed_bases(6), n_iters=2000)
+        assert hr_dist > 0.9
+        assert hr_dist > hr_aligned + 0.8
+
+    def test_analytic_matches_simulator_streaming(self):
+        sim = loop_hit_ratio(self._distributed_bases(6), n_iters=4000)
+        ana = analytic_loop_hit_ratio(6, distributed=True)
+        assert sim == pytest.approx(ana, abs=0.02)
+
+    def test_analytic_thrash_case(self):
+        assert analytic_loop_hit_ratio(8, distributed=False) == 0.0
+        assert analytic_loop_hit_ratio(3, distributed=False) > 0.9
+
+
+class TestAccessStream:
+    def test_interleaved_shape(self):
+        s = loop_access_stream([0, 1000], n_iters=5)
+        assert s.shape == (10,)
+        assert s[0] == 0 and s[1] == 1000 and s[2] == 8
+
+    def test_sequential_layout(self):
+        s = loop_access_stream([0, 1000], n_iters=3, interleave=False)
+        np.testing.assert_array_equal(s, [0, 8, 16, 1000, 1008, 1016])
+
+
+class TestAllocator:
+    def test_without_distribution_same_set(self):
+        alloc = PoolAllocator(distribute=False)
+        bases = [alloc.malloc(40 * 1024) for _ in range(6)]
+        assert alloc.set_spread() == 1
+        assert all(b % alloc.way_bytes == 0 for b in bases)
+
+    def test_with_distribution_spread(self):
+        alloc = PoolAllocator(distribute=True)
+        [alloc.malloc(40 * 1024) for _ in range(8)]
+        assert alloc.set_spread() == 8
+
+    def test_allocations_do_not_overlap(self):
+        alloc = PoolAllocator(distribute=True)
+        allocs = []
+        for i in range(10):
+            base = alloc.malloc(1000 * (i + 1))
+            allocs.append((base, base + 1000 * (i + 1)))
+        allocs.sort()
+        for (a0, a1), (b0, _) in zip(allocs, allocs[1:]):
+            assert a1 <= b0
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            PoolAllocator().malloc(0)
+
+    def test_reset(self):
+        alloc = PoolAllocator()
+        alloc.malloc(100)
+        alloc.reset()
+        assert alloc.allocations == []
