@@ -1,0 +1,64 @@
+"""swlint: static offload-plan analyzer + runtime sanitizer.
+
+The correctness-tooling layer for the simulated Sunway substrate.  A
+kernel declares *what* it touches (:class:`AccessSpec`); the static
+analyzer (:class:`StaticAnalyzer`) checks an :class:`OffloadPlan` of
+such loops against the paper's hard-won offloading rules (SW001–SW007:
+races, ``nowait`` hazards, launch order, LDCache thrash, LDM budget,
+precision demotion, halo reach); the runtime :class:`Sanitizer` executes
+the loops chunk-by-chunk through the real job server and stamps each
+suspected race CONFIRMED or FALSE_POSITIVE from the observed per-chunk
+index sets.  ``repro lint`` drives the whole pass over the repo's
+annotated kernels and the known-bad regression corpus.
+"""
+
+from repro.analysis.access import (
+    AccessSpec,
+    ArrayAccess,
+    IndexExpr,
+    IndexKind,
+    OffloadPlan,
+    PlannedLoop,
+    parse_index,
+)
+from repro.analysis.corpus import KNOWN_BAD_CORPUS, CorpusCase
+from repro.analysis.diagnostics import (
+    CONFIRMED,
+    FALSE_POSITIVE,
+    RULES,
+    Diagnostic,
+    Severity,
+    rank,
+)
+from repro.analysis.sanitizer import LoopObservation, Sanitizer, ShadowArray
+from repro.analysis.static import (
+    CacheGeometry,
+    StaticAnalyzer,
+    analyze_plan,
+    plan_from_directives,
+)
+
+__all__ = [
+    "AccessSpec",
+    "ArrayAccess",
+    "IndexExpr",
+    "IndexKind",
+    "OffloadPlan",
+    "PlannedLoop",
+    "parse_index",
+    "KNOWN_BAD_CORPUS",
+    "CorpusCase",
+    "CONFIRMED",
+    "FALSE_POSITIVE",
+    "RULES",
+    "Diagnostic",
+    "Severity",
+    "rank",
+    "LoopObservation",
+    "Sanitizer",
+    "ShadowArray",
+    "CacheGeometry",
+    "StaticAnalyzer",
+    "analyze_plan",
+    "plan_from_directives",
+]

@@ -1,0 +1,195 @@
+"""`repro lint` driver: run swlint end-to-end and render the results.
+
+Two sections:
+
+* **kernels** — the repo's own annotated kernels
+  (:data:`repro.dycore.kernels.MAJOR_KERNELS`) assembled into one
+  offload plan with pool-allocated (distributed) base addresses and the
+  halo width taken from a real mesh decomposition; must produce zero
+  ERROR diagnostics;
+* **corpus** — the known-bad plans of
+  :data:`repro.analysis.corpus.KNOWN_BAD_CORPUS`; every case must keep
+  producing its expected rule IDs, and runnable cases get their
+  diagnostics verified by the sanitizer (CONFIRMED / FALSE_POSITIVE).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.access import OffloadPlan, PlannedLoop
+from repro.analysis.corpus import KNOWN_BAD_CORPUS
+from repro.analysis.diagnostics import CONFIRMED, FALSE_POSITIVE, Severity, rank
+from repro.analysis.sanitizer import Sanitizer
+from repro.analysis.static import StaticAnalyzer
+from repro.sunway.allocator import PoolAllocator
+
+
+def partition_halo_width(level: int = 2, nparts: int = 4) -> int:
+    """Declared halo width of a real decomposition of a small mesh."""
+    from repro.grid.mesh import build_mesh
+    from repro.partition.decomposition import decompose
+
+    subs = decompose(build_mesh(level), nparts)
+    return min(s.halo_rings for s in subs)
+
+
+def build_kernel_plan(
+    n_iters: int = 100_000,
+    distribute_addresses: bool = True,
+    halo_width: int | None = None,
+) -> OffloadPlan:
+    """One offload plan covering every annotated registered kernel.
+
+    Base addresses come from the pool allocator exactly as the executor
+    would allocate them (``distribute_addresses`` mirrors the DST
+    switch), so the thrash lint sees the same layout the simulated runs
+    use.
+    """
+    # Imported lazily: repro.dycore.kernels imports repro.analysis.access.
+    from repro.dycore.kernels import MAJOR_KERNELS
+
+    alloc = PoolAllocator(distribute=distribute_addresses)
+    bases: dict = {}
+    loops = []
+    for name, reg in MAJOR_KERNELS.items():
+        spec = reg.spec
+        if spec.access is None:
+            continue
+        for acc in spec.access.arrays:
+            key = f"{name}.{acc.name}"
+            bases[key] = alloc.malloc(n_iters * acc.bytes_per_elem, key)
+        # Namespace the array names per kernel so unrelated kernels do
+        # not alias in the base-address table.
+        ns_access = spec.access.__class__(
+            arrays=tuple(
+                acc.__class__(
+                    name=f"{name}.{acc.name}", mode=acc.mode, index=acc.index,
+                    bytes_per_elem=acc.bytes_per_elem, term=acc.term,
+                )
+                for acc in spec.access.arrays
+            ),
+            loop_var=spec.access.loop_var,
+        )
+        loops.append(PlannedLoop(
+            name=name,
+            access=ns_access,
+            n_iters=n_iters,
+            ldm_staged=spec.ldm_staged,
+        ))
+    if halo_width is None:
+        halo_width = partition_halo_width()
+    return OffloadPlan(
+        loops=loops, name="registered_kernels",
+        array_bases=bases, halo_width=halo_width,
+    )
+
+
+def lint_kernels(analyzer: StaticAnalyzer | None = None) -> list:
+    analyzer = analyzer or StaticAnalyzer()
+    return analyzer.analyze(build_kernel_plan())
+
+
+def lint_corpus(
+    analyzer: StaticAnalyzer | None = None,
+    sanitize: bool = True,
+    n_cpes: int = 64,
+) -> list:
+    """Analyze every corpus case; returns one result dict per case."""
+    analyzer = analyzer or StaticAnalyzer()
+    results = []
+    for case in KNOWN_BAD_CORPUS.values():
+        plan, arrays = case.build()
+        diags = analyzer.analyze(plan)
+        if sanitize and plan.server_initialized:
+            Sanitizer(n_cpes=n_cpes).verify(plan, arrays, diags)
+        elif sanitize and any(d.rule == "SW003" for d in diags):
+            # The launch-order case has nothing runnable, but the
+            # runtime condition itself is checkable.
+            Sanitizer(n_cpes=8).verify(plan, arrays, diags)
+        found = {d.rule for d in diags}
+        results.append({
+            "name": case.name,
+            "expected_rules": sorted(case.expect_rules),
+            "found_rules": sorted(found),
+            "ok": case.expect_rules <= found,
+            "diagnostics": rank(diags),
+        })
+    return results
+
+
+def lint_all(sanitize: bool = True) -> dict:
+    """Full lint run; the dict `repro lint` serialises."""
+    kernel_diags = rank(lint_kernels())
+    corpus = lint_corpus(sanitize=sanitize)
+    all_diags = kernel_diags + [d for c in corpus for d in c["diagnostics"]]
+    confirmed = sum(1 for d in all_diags if d.verdict == CONFIRMED)
+    false_pos = sum(1 for d in all_diags if d.verdict == FALSE_POSITIVE)
+    kernel_errors = [d for d in kernel_diags if d.severity is Severity.ERROR]
+    corpus_ok = all(c["ok"] for c in corpus)
+    return {
+        "kernels": {
+            "diagnostics": kernel_diags,
+            "n_error": len(kernel_errors),
+        },
+        "corpus": {"cases": corpus, "all_expected_found": corpus_ok},
+        "summary": {
+            "diagnostics": len(all_diags),
+            "errors": sum(1 for d in all_diags if d.severity is Severity.ERROR),
+            "warnings": sum(1 for d in all_diags if d.severity is Severity.WARNING),
+            "info": sum(1 for d in all_diags if d.severity is Severity.INFO),
+            "confirmed": confirmed,
+            "false_positives": false_pos,
+            "strict_ok": not kernel_errors and corpus_ok,
+        },
+    }
+
+
+def to_json(result: dict) -> dict:
+    """JSON-serialisable copy of a :func:`lint_all` result."""
+    return {
+        "kernels": {
+            "diagnostics": [d.to_dict() for d in result["kernels"]["diagnostics"]],
+            "n_error": result["kernels"]["n_error"],
+        },
+        "corpus": {
+            "cases": [
+                {**c, "diagnostics": [d.to_dict() for d in c["diagnostics"]]}
+                for c in result["corpus"]["cases"]
+            ],
+            "all_expected_found": result["corpus"]["all_expected_found"],
+        },
+        "summary": result["summary"],
+    }
+
+
+def _fmt_diag(d) -> str:
+    verdict = f" [{d.verdict}]" if d.verdict else ""
+    where = ":".join(x for x in (d.plan, d.loop, d.array) if x)
+    return f"  {d.severity.name:7s} {d.rule} {where}: {d.message}{verdict}"
+
+
+def render_human(result: dict) -> str:
+    """Severity-ranked human report."""
+    lines = []
+    k = result["kernels"]
+    lines.append(f"== registered kernels ({k['n_error']} error(s)) ==")
+    if not k["diagnostics"]:
+        lines.append("  clean: no diagnostics")
+    lines.extend(_fmt_diag(d) for d in k["diagnostics"])
+    lines.append("")
+    lines.append("== known-bad corpus ==")
+    for c in result["corpus"]["cases"]:
+        status = "ok" if c["ok"] else "MISSING EXPECTED RULES"
+        lines.append(
+            f" {c['name']}: expected {','.join(c['expected_rules'])} "
+            f"-> found {','.join(c['found_rules']) or '(none)'} [{status}]"
+        )
+        lines.extend(_fmt_diag(d) for d in c["diagnostics"])
+    s = result["summary"]
+    lines.append("")
+    lines.append(
+        f"summary: {s['diagnostics']} diagnostic(s) — {s['errors']} error, "
+        f"{s['warnings']} warning, {s['info']} info; "
+        f"{s['confirmed']} confirmed, {s['false_positives']} false positive(s) "
+        f"by the sanitizer; strict {'PASS' if s['strict_ok'] else 'FAIL'}"
+    )
+    return "\n".join(lines)

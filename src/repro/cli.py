@@ -8,7 +8,8 @@ without writing any Python:
 * ``scaling``   — Figs. 10/11 + headline SYPD from the machine model;
 * ``kernels``   — the Fig. 9 kernel speedup table;
 * ``train-ml``  — the section 3.2 training workflow;
-* ``grids``     — print Table 2.
+* ``grids``     — print Table 2;
+* ``lint``      — swlint: static offload-plan analysis + sanitizer.
 """
 
 from __future__ import annotations
@@ -151,6 +152,21 @@ def _cmd_train_ml(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import json
+
+    from repro.analysis.report import lint_all, render_human, to_json
+
+    result = lint_all(sanitize=not args.no_sanitize)
+    if args.json:
+        print(json.dumps(to_json(result), indent=2))
+    else:
+        print(render_human(result))
+    if args.strict and not result["summary"]["strict_ok"]:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -196,6 +212,18 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--width", type=int, default=16)
     sp.add_argument("--resunits", type=int, default=2)
     sp.set_defaults(func=_cmd_train_ml)
+
+    sp = sub.add_parser(
+        "lint",
+        help="swlint: lint annotated kernels + known-bad corpus (SW001-SW007)",
+    )
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable JSON instead of the human report")
+    sp.add_argument("--strict", action="store_true",
+                    help="exit nonzero on kernel ERRORs or missed corpus rules")
+    sp.add_argument("--no-sanitize", action="store_true",
+                    help="static analysis only, skip the runtime sanitizer")
+    sp.set_defaults(func=_cmd_lint)
     return p
 
 

@@ -12,10 +12,10 @@ A simulated message-passing runtime standing in for MPI:
 * :mod:`repro.comm.parallel_io` — grouped parallel I/O.
 """
 
-from repro.comm.message import Communicator, CommStats
 from repro.comm.halo import HaloExchanger
-from repro.comm.topology import FatTreeTopology, SUNWAY_TOPOLOGY
+from repro.comm.message import CommStats, Communicator
 from repro.comm.parallel_io import GroupedIOWriter
+from repro.comm.topology import SUNWAY_TOPOLOGY, FatTreeTopology
 
 __all__ = [
     "Communicator",

@@ -62,6 +62,12 @@ class HaloExchanger:
     def registered(self) -> list[str]:
         return list(self._registry)
 
+    @property
+    def halo_rings(self) -> int:
+        """Declared halo depth the exchange refreshes (the minimum over
+        ranks); stencil reads deeper than this are SW007 territory."""
+        return min((s.halo_rings for s in self.subdomains), default=0)
+
     # -- exchanges ---------------------------------------------------------
     def exchange(self) -> None:
         """Aggregated exchange: ONE message per (rank, neighbour) pair."""

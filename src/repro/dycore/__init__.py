@@ -20,9 +20,14 @@ functions and are registered with Sunway cost descriptions in
 :mod:`repro.dycore.kernels`.
 """
 
+from repro.dycore.solver import DycoreConfig, DynamicalCore
+from repro.dycore.state import (
+    ModelState,
+    baroclinic_wave_state,
+    isothermal_rest_state,
+    solid_body_rotation_state,
+)
 from repro.dycore.vertical import VerticalCoordinate
-from repro.dycore.state import ModelState, isothermal_rest_state, solid_body_rotation_state, baroclinic_wave_state
-from repro.dycore.solver import DynamicalCore, DycoreConfig
 
 __all__ = [
     "VerticalCoordinate",

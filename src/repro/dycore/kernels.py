@@ -9,6 +9,14 @@ variants (DP / DP+DST / MIX / MIX+DST).
 Array counts were taken by reading each kernel's implementation (the
 same way the paper's authors counted arrays per loop to diagnose
 LDCache thrashing); flop counts are per (cell|edge, level) element.
+
+Each spec also carries an :class:`~repro.analysis.access.AccessSpec` —
+the declared read/write pattern per array (index expression, element
+width under the MIX configuration, precision-classified term) consumed
+by the static offload-plan analyzer (``repro lint``).  All writes are
+chunk-local (``"i"``), all gathers stay within one halo ring, and every
+demoted array's term is classified insensitive; the analyzer verifying
+exactly that is the repo's clean-kernel regression.
 """
 
 from __future__ import annotations
@@ -18,11 +26,20 @@ from typing import Callable
 
 import numpy as np
 
+from repro.analysis.access import AccessSpec, ArrayAccess
 from repro.dycore import operators as ops
 from repro.dycore import tendencies as tnd
 from repro.dycore.tracer import tracer_transport_hori_flux_limiter
 from repro.grid.mesh import Mesh
 from repro.sunway.kernel import KernelSpec
+
+
+def _r(name, index="i", nbytes=8, term=None):
+    return ArrayAccess(name, mode="r", index=index, bytes_per_elem=nbytes, term=term)
+
+
+def _w(name, index="i", nbytes=8, term=None):
+    return ArrayAccess(name, mode="w", index=index, bytes_per_elem=nbytes, term=term)
 
 
 @dataclass(frozen=True)
@@ -74,6 +91,17 @@ MAJOR_KERNELS: dict[str, RegisteredKernel] = {
             vector_efficiency=0.28,
             mixed_data_fraction=0.90,   # limiter runs in ns precision
             mixed_flop_fraction=0.90,
+            access=AccessSpec.of(
+                _r("q", "nbr(i)", 4, "tracer_advection"),
+                _r("flux", "i", 4, "tracer_advection"),
+                _r("dpi_now", "nbr(i)"),
+                _r("dpi_next", "nbr(i)"),
+                _r("q_min", "nbr(i)", 4, "tracer_flux_limiter"),
+                _r("q_max", "nbr(i)", 4, "tracer_flux_limiter"),
+                _r("p_sum", "nbr(i)", 4, "tracer_flux_limiter"),
+                _r("r_ratio", "nbr(i)", 4, "tracer_flux_limiter"),
+                _w("flux_limited", "i", 4, "tracer_flux_limiter"),
+            ),
         ),
         element="edge",
         run=_run_flux_limiter,
@@ -87,6 +115,16 @@ MAJOR_KERNELS: dict[str, RegisteredKernel] = {
             vector_efficiency=0.30,
             mixed_data_fraction=0.85,
             mixed_flop_fraction=0.85,
+            access=AccessSpec.of(
+                _r("dpi", "i"),
+                _r("phi_below", "i"),
+                _r("phi_above", "i"),
+                _r("theta_m", "i", 4, "theta_divergence"),
+                _r("exner", "i", 4, "theta_divergence"),
+                _r("rk_weight", "i"),
+                _r("column_scale", "i"),
+                _w("rrr", "i", 4, "theta_divergence"),
+            ),
         ),
         element="cell",
         run=_run_compute_rrr,
@@ -101,6 +139,16 @@ MAJOR_KERNELS: dict[str, RegisteredKernel] = {
             vector_efficiency=0.25,
             mixed_data_fraction=0.80,
             mixed_flop_fraction=0.90,
+            access=AccessSpec.of(
+                _r("dpi_c1", "nbr(i)"),
+                _r("dpi_c2", "nbr(i)"),
+                _r("u", "i", 4, "momentum_advection"),
+                _r("edge_length", "i"),
+                _r("interp_weight", "i"),
+                # The accumulated dry-air mass flux stays double precision
+                # ("requires double precision information", section 3.4.2).
+                _w("mass_flux", "i", 8, "mass_flux_accumulation"),
+            ),
         ),
         element="edge",
         run=_run_primal_flux,
@@ -114,6 +162,11 @@ MAJOR_KERNELS: dict[str, RegisteredKernel] = {
             vector_efficiency=0.35,
             mixed_data_fraction=0.0,    # "lacking mixed precision optimization"
             mixed_flop_fraction=0.0,
+            access=AccessSpec.of(
+                _r("u", "nbr(i)", 8, "coriolis_term"),
+                _r("coriolis_f", "i"),
+                _w("tend_u", "i", 8, "coriolis_term"),
+            ),
         ),
         element="edge",
         run=_run_coriolis,
@@ -127,6 +180,13 @@ MAJOR_KERNELS: dict[str, RegisteredKernel] = {
             vector_efficiency=0.32,
             mixed_data_fraction=0.85,
             mixed_flop_fraction=0.85,
+            access=AccessSpec.of(
+                _r("ke_c1", "nbr(i)", 4, "kinetic_energy_gradient"),
+                _r("ke_c2", "nbr(i)", 4, "kinetic_energy_gradient"),
+                _r("edt_v", "i"),
+                _r("edt_leng", "i"),
+                _w("tend_grad_ke", "i", 4, "kinetic_energy_gradient"),
+            ),
         ),
         element="edge",
         run=_run_grad_ke,
@@ -140,6 +200,13 @@ MAJOR_KERNELS: dict[str, RegisteredKernel] = {
             vector_efficiency=0.30,
             mixed_data_fraction=0.85,
             mixed_flop_fraction=0.85,
+            access=AccessSpec.of(
+                _r("flux", "nbr(i)", 4, "mass_divergence"),
+                _r("edge_sign", "i"),
+                _r("edge_leng", "i"),
+                _r("cell_area", "i"),
+                _w("div", "i", 4, "mass_divergence"),
+            ),
         ),
         element="cell",
         run=_run_divergence,

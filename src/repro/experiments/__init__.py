@@ -11,12 +11,12 @@
   workflow (archive -> datasets -> trained suite).
 """
 
+from repro.experiments.climate import north_america_box_mean, run_climate_comparison
 from repro.experiments.doksuri import (
-    tropical_cyclone_state,
     run_doksuri_case,
     spatial_correlation,
+    tropical_cyclone_state,
 )
-from repro.experiments.climate import run_climate_comparison, north_america_box_mean
 from repro.experiments.workflow import train_ml_suite
 
 __all__ = [

@@ -17,7 +17,7 @@ from repro.dycore.state import tropical_profile_state
 from repro.dycore.vertical import VerticalCoordinate
 from repro.experiments.doksuri import spatial_correlation
 from repro.grid.mesh import Mesh
-from repro.model.config import SchemeConfig, scaled_grid_config
+from repro.model.config import scaled_grid_config
 from repro.model.grist import GristModel
 from repro.physics.surface import SurfaceModel, idealized_land_mask, idealized_sst
 
@@ -189,7 +189,9 @@ def short_integration_comparison(
     }
 
 
-def zonal_mean_precip(mesh: Mesh, precip: np.ndarray, nbins: int = 18) -> tuple[np.ndarray, np.ndarray]:
+def zonal_mean_precip(
+    mesh: Mesh, precip: np.ndarray, nbins: int = 18
+) -> tuple[np.ndarray, np.ndarray]:
     """Zonal-mean precipitation profile (for the rain-band diagnostic)."""
     edges = np.linspace(-np.pi / 2, np.pi / 2, nbins + 1)
     idx = np.clip(np.digitize(mesh.cell_lat, edges) - 1, 0, nbins - 1)

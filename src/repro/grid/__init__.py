@@ -14,13 +14,13 @@ Grid level ``L`` ("G<L>" in the paper's Table 2) has
 
 from repro.grid.icosahedral import (
     base_icosahedron,
-    subdivide,
-    icosahedral_triangulation,
     grid_cell_count,
     grid_edge_count,
-    grid_vertex_count,
     grid_mean_spacing_km,
     grid_resolution_range_km,
+    grid_vertex_count,
+    icosahedral_triangulation,
+    subdivide,
 )
 from repro.grid.mesh import Mesh, build_mesh
 from repro.grid.reorder import bfs_cell_order, reorder_mesh

@@ -22,14 +22,14 @@ Everything is built from scratch on NumPy:
   interface as the conventional suite.
 """
 
-from repro.ml.network import Sequential, ResUnit
-from repro.ml.layers import Dense, Conv1D, ReLU
-from repro.ml.optimizer import Adam, SGD
-from repro.ml.tendency_net import TendencyCNN
+from repro.ml.ensemble import TendencyEnsemble
+from repro.ml.layers import Conv1D, Dense, ReLU
+from repro.ml.network import ResUnit, Sequential
+from repro.ml.optimizer import SGD, Adam
 from repro.ml.radiation_net import RadiationMLP
 from repro.ml.suite import MLPhysicsSuite
+from repro.ml.tendency_net import TendencyCNN
 from repro.ml.training import Trainer, train_test_split_by_day
-from repro.ml.ensemble import TendencyEnsemble
 
 __all__ = [
     "Sequential",

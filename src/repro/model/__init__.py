@@ -10,13 +10,13 @@
 """
 
 from repro.model.config import (
-    GridConfig,
-    SchemeConfig,
     TABLE2_GRIDS,
     TABLE3_SCHEMES,
+    GridConfig,
+    SchemeConfig,
     scaled_grid_config,
 )
-from repro.model.coupler import CouplingInterface, CouplingFields
+from repro.model.coupler import CouplingFields, CouplingInterface
 from repro.model.grist import GristModel
 
 __all__ = [

@@ -14,9 +14,9 @@ solver rank-by-rank:
   exchanges, bitwise-verifiable against the serial result.
 """
 
-from repro.parallel.localmesh import LocalMesh, build_local_meshes
-from repro.parallel.exchange import EdgeCellExchanger
 from repro.parallel.driver import DistributedDycore
+from repro.parallel.exchange import EdgeCellExchanger
+from repro.parallel.localmesh import LocalMesh, build_local_meshes
 
 __all__ = [
     "LocalMesh",

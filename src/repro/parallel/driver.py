@@ -191,6 +191,11 @@ class DistributedDycore:
         for _ in range(n_steps):
             self.step()
 
+    @property
+    def halo_rings(self) -> int:
+        """Declared halo depth of the decomposition (for SW007 lint)."""
+        return min((lm.halo_rings for lm in self.locals), default=0)
+
     # -- statistics ----------------------------------------------------------
     def comm_stats(self) -> dict:
         s = self.comm.stats

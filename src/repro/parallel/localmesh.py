@@ -48,6 +48,10 @@ class LocalMesh:
     cell_recv: dict = field(default_factory=dict)
     edge_send: dict = field(default_factory=dict)
     edge_recv: dict = field(default_factory=dict)
+    #: Declared cell-halo depth (see the module docstring: owned + two
+    #: rings, valid-after-exchange on the first ring).  The analyzer's
+    #: SW007 rule checks kernel access specs against this.
+    halo_rings: int = 2
 
     @property
     def n_cells(self) -> int:

@@ -9,9 +9,9 @@ refinement), and :mod:`repro.partition.decomposition` turns a partition
 into per-rank subdomains with halo layers.
 """
 
-from repro.partition.graph import CSRGraph, mesh_cell_graph
-from repro.partition.metis import partition_graph, edge_cut, partition_balance
 from repro.partition.decomposition import Subdomain, decompose
+from repro.partition.graph import CSRGraph, mesh_cell_graph
+from repro.partition.metis import edge_cut, partition_balance, partition_graph
 
 __all__ = [
     "CSRGraph",

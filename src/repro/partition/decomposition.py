@@ -44,6 +44,10 @@ class Subdomain:
     global_to_local: dict = field(repr=False, default_factory=dict)
     send_cells: dict = field(default_factory=dict)   # rank -> local idx array
     recv_cells: dict = field(default_factory=dict)   # rank -> local idx array
+    #: Declared halo depth in cell rings.  Kernel reads must not reach
+    #: past this — the static analyzer's halo-consistency rule (SW007)
+    #: checks declared kernel access specs against it.
+    halo_rings: int = 1
 
     @property
     def n_halo(self) -> int:

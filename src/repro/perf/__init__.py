@@ -22,7 +22,7 @@ the paper's (491 SDPD G11S / 181 SDPD G12 at 524,288 CGs); the *shapes*
 
 from repro.perf.metrics import sdpd_from_step_time, sypd_from_sdpd
 from repro.perf.model import PerformanceModel, PerfParams, StepCost
-from repro.perf.scaling import weak_scaling_experiment, strong_scaling_experiment
+from repro.perf.scaling import strong_scaling_experiment, weak_scaling_experiment
 
 __all__ = [
     "sdpd_from_step_time",

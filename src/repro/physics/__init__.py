@@ -16,11 +16,11 @@ The column-physics package the ML suite (section 3.2) replaces:
   tendencies and the Q1/Q2 diagnostics used to train the ML suite.
 """
 
-from repro.physics.column import PhysicsSuite, PhysicsConfig, PhysicsTendencies
-from repro.physics.radiation import RadiationScheme
-from repro.physics.microphysics import kessler_microphysics
+from repro.physics.column import PhysicsConfig, PhysicsSuite, PhysicsTendencies
 from repro.physics.convection import convective_adjustment
+from repro.physics.microphysics import kessler_microphysics
 from repro.physics.pbl import pbl_diffusion
+from repro.physics.radiation import RadiationScheme
 from repro.physics.surface import SurfaceModel, saturation_mixing_ratio
 
 __all__ = [

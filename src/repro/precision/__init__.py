@@ -11,14 +11,21 @@ relative L2 deviation of surface pressure (ps) and relative vorticity
 threshold.
 """
 
-from repro.precision.policy import PrecisionPolicy, NS, TermSensitivity, GRIST_SENSITIVITY
-from repro.precision.analysis import relative_l2, DeviationTracker, ACCURACY_THRESHOLD
+from repro.precision.analysis import ACCURACY_THRESHOLD, DeviationTracker, relative_l2
+from repro.precision.policy import (
+    GRIST_SENSITIVITY,
+    NS,
+    PrecisionPolicy,
+    TermSensitivity,
+    is_sensitive,
+)
 
 __all__ = [
     "PrecisionPolicy",
     "NS",
     "TermSensitivity",
     "GRIST_SENSITIVITY",
+    "is_sensitive",
     "relative_l2",
     "DeviationTracker",
     "ACCURACY_THRESHOLD",

@@ -108,5 +108,16 @@ class PrecisionPolicy:
         return n32 / len(self.sensitivity)
 
 
+def is_sensitive(term: str, sensitivity: dict | None = None) -> bool:
+    """Whether ``term`` must stay double precision.
+
+    Unknown terms default to sensitive — the same safe fallback as
+    :meth:`PrecisionPolicy.dtype_of`.  The static analyzer's SW006 rule
+    uses this to cross-check declared kernel access dtypes.
+    """
+    table = GRIST_SENSITIVITY if sensitivity is None else sensitivity
+    return table.get(term, TermSensitivity.SENSITIVE) is TermSensitivity.SENSITIVE
+
+
 #: Module-level default instance, mirroring the single global ``ns`` kind.
 NS = PrecisionPolicy()

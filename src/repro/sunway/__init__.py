@@ -20,14 +20,14 @@ optimisations act on:
   cache-hit feedback, used by Fig. 9 and the scaling model.
 """
 
-from repro.sunway.arch import SW26010P, CoreGroup
-from repro.sunway.ldcache import LDCache, loop_access_stream
 from repro.sunway.allocator import PoolAllocator
-from repro.sunway.dma import omnicopy, MemorySpace
-from repro.sunway.swgomp import JobServer, TargetRegion
-from repro.sunway.kernel import KernelSpec, KernelTimer, Engine, Precision
-from repro.sunway.directives import parse_directives, LaunchPlan
+from repro.sunway.arch import SW26010P, CoreGroup
+from repro.sunway.directives import DirectiveError, LaunchPlan, parse_directives
+from repro.sunway.dma import MemorySpace, omnicopy
 from repro.sunway.execution import SWGOMPExecutor
+from repro.sunway.kernel import Engine, KernelSpec, KernelTimer, Precision
+from repro.sunway.ldcache import LDCache, loop_access_stream
+from repro.sunway.swgomp import JobServer, SWGOMPError, TargetRegion
 
 __all__ = [
     "SW26010P",
@@ -38,6 +38,7 @@ __all__ = [
     "omnicopy",
     "MemorySpace",
     "JobServer",
+    "SWGOMPError",
     "TargetRegion",
     "KernelSpec",
     "KernelTimer",
@@ -45,5 +46,6 @@ __all__ = [
     "Precision",
     "parse_directives",
     "LaunchPlan",
+    "DirectiveError",
     "SWGOMPExecutor",
 ]

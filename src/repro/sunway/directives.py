@@ -62,6 +62,8 @@ class LaunchPlan:
 
     targets: list = field(default_factory=list)
     uses_unified_shared_memory: bool = True   # the OpenMP 5.0 backport
+    #: Structured errors gathered in ``errors="collect"`` mode.
+    errors: list = field(default_factory=list)
 
     @property
     def n_target_regions(self) -> int:
@@ -69,131 +71,257 @@ class LaunchPlan:
 
 
 class DirectiveError(ValueError):
-    """Malformed or unbalanced directive structure."""
+    """Malformed or unbalanced directive structure.
+
+    A *structured* error: ``line`` is the 1-based source line (None for
+    end-of-file problems) and ``code`` a stable machine-readable slug
+    (``"unbalanced-end"``, ``"unterminated"``, ``"outside-target"``,
+    ``"nested-target"``, ``"unknown-directive"``, ``"unknown-clause"``),
+    so tools can key off the failure kind rather than the message text.
+    """
+
+    def __init__(self, message: str, line: int | None = None, code: str = ""):
+        super().__init__(message)
+        self.line = line
+        self.code = code
+
+    def to_dict(self) -> dict:
+        return {"message": str(self), "line": self.line, "code": self.code}
 
 
-def _clauses(text: str) -> dict:
+#: Directive keywords that may legally appear in a directive body.
+_KEYWORDS = {"target", "parallel", "workshare", "do", "end"}
+
+#: Clause patterns recognised by the subset (everything else errors).
+_PRIVATE_RE = re.compile(r"private\s*\(([^)]*)\)", re.IGNORECASE)
+_NUM_TEAMS_RE = re.compile(r"num_teams\s*\(\s*(\d+)\s*\)", re.IGNORECASE)
+_NOWAIT_RE = re.compile(r"\bnowait\b", re.IGNORECASE)
+
+
+def _strip_comment(text: str) -> str:
+    """Drop a trailing Fortran ``!`` comment from a directive body."""
+    return text.split("!", 1)[0]
+
+
+def _clauses(text: str, lineno: int) -> dict:
+    """Extract the recognised clauses; reject anything left over.
+
+    ``text`` must already have its trailing comment stripped.  Unknown
+    clauses are an error (not a silent drop): the USM backport is the
+    only sanctioned reason clauses disappear, and it removes *data-map*
+    clauses in the compiler, not in this parser.
+    """
     out: dict = {}
-    m = re.search(r"private\s*\(([^)]*)\)", text, re.IGNORECASE)
+    m = _PRIVATE_RE.search(text)
     if m:
         out["private"] = [v.strip() for v in m.group(1).split(",") if v.strip()]
-    m = re.search(r"num_teams\s*\(\s*(\d+)\s*\)", text, re.IGNORECASE)
+        text = text[: m.start()] + " " + text[m.end():]
+    m = _NUM_TEAMS_RE.search(text)
     if m:
         out["num_teams"] = int(m.group(1))
-    out["nowait"] = bool(re.search(r"\bnowait\b", text, re.IGNORECASE))
+        text = text[: m.start()] + " " + text[m.end():]
+    text, n = _NOWAIT_RE.subn(" ", text)
+    out["nowait"] = bool(n)
+    leftover = [
+        tok for tok in re.split(r"[\s,]+", text)
+        if tok and tok.lower() not in _KEYWORDS
+    ]
+    if leftover:
+        raise DirectiveError(
+            f"line {lineno}: unknown clause(s) {leftover!r} "
+            "(supported: private(...), num_teams(...), nowait)",
+            line=lineno,
+            code="unknown-clause",
+        )
     return out
 
 
-def parse_directives(source: str) -> LaunchPlan:
+class _Parser:
+    """Line-state machine shared by raise and collect modes."""
+
+    def __init__(self) -> None:
+        self.plan = LaunchPlan()
+        self.current: TargetRegion | None = None
+        self.in_parallel = False
+        self.open_loop: LoopNest | None = None
+        self.open_workshare: WorkshareRegion | None = None
+
+    def plain_line(self, raw: str) -> None:
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("!"):
+            return
+        if self.open_loop is not None and not self.open_loop.variable:
+            dm = re.match(r"do\s+(\w+)\s*=", stripped, re.IGNORECASE)
+            if dm:
+                self.open_loop.variable = dm.group(1)
+        if self.open_workshare is not None:
+            self.open_workshare.statements += 1
+
+    def directive_line(self, text: str, lineno: int) -> None:
+        text = _strip_comment(text)
+        body = text.strip().lower()
+        head = body.split(None, 1)[0] if body else ""
+        if head not in _KEYWORDS:
+            raise DirectiveError(
+                f"line {lineno}: unsupported directive {body!r}",
+                line=lineno, code="unknown-directive",
+            )
+        cl = _clauses(text, lineno)
+        if body.startswith("end"):
+            self._end_directive(body[3:].strip(), cl, lineno)
+        elif body.startswith("target"):
+            self._open_target(body, cl, lineno)
+        elif body.startswith("parallel"):
+            if self.current is None:
+                raise DirectiveError(
+                    f"line {lineno}: parallel outside a target region "
+                    "(SWGOMP offloads through target)",
+                    line=lineno, code="outside-target",
+                )
+            self.in_parallel = True
+            self.current.private.extend(cl.get("private", []))
+        elif body.startswith("do"):
+            if self.current is None or not self.in_parallel:
+                raise DirectiveError(
+                    f"line {lineno}: '!$omp do' outside target parallel",
+                    line=lineno, code="outside-target",
+                )
+            loop = LoopNest(line=lineno)
+            self.current.loops.append(loop)
+            self.open_loop = loop
+        elif body.startswith("workshare"):
+            if self.current is None:
+                raise DirectiveError(
+                    f"line {lineno}: workshare outside target",
+                    line=lineno, code="outside-target",
+                )
+            ws = WorkshareRegion(line=lineno)
+            self.current.workshares.append(ws)
+            self.open_workshare = ws
+        else:
+            raise DirectiveError(
+                f"line {lineno}: unsupported directive {body!r}",
+                line=lineno, code="unknown-directive",
+            )
+
+    def _open_target(self, body: str, cl: dict, lineno: int) -> None:
+        if self.current is not None:
+            raise DirectiveError(
+                f"line {lineno}: nested target regions",
+                line=lineno, code="nested-target",
+            )
+        combined = []
+        rest = body[len("target"):]
+        if "parallel" in rest:
+            combined.append("parallel")
+            self.in_parallel = True
+        if "workshare" in rest:
+            combined.append("workshare")
+        self.current = TargetRegion(
+            line=lineno,
+            combined=tuple(combined),
+            private=cl.get("private", []),
+            num_teams=cl.get("num_teams"),
+        )
+        if "workshare" in combined:
+            ws = WorkshareRegion(line=lineno)
+            self.current.workshares.append(ws)
+            self.open_workshare = ws
+
+    def _end_directive(self, what: str, cl: dict, lineno: int) -> None:
+        if what.startswith("target"):
+            if self.current is None:
+                raise DirectiveError(
+                    f"line {lineno}: end target without target",
+                    line=lineno, code="unbalanced-end",
+                )
+            self.plan.targets.append(self.current)
+            self.current = None
+            self.in_parallel = False
+        elif what.startswith("parallel"):
+            if not self.in_parallel:
+                raise DirectiveError(
+                    f"line {lineno}: end parallel without parallel",
+                    line=lineno, code="unbalanced-end",
+                )
+            self.in_parallel = False
+        elif what.startswith("do"):
+            if self.open_loop is None:
+                raise DirectiveError(
+                    f"line {lineno}: end do without do",
+                    line=lineno, code="unbalanced-end",
+                )
+            self.open_loop.nowait = cl["nowait"]
+            self.open_loop = None
+        elif what.startswith("workshare"):
+            if self.open_workshare is None:
+                raise DirectiveError(
+                    f"line {lineno}: end workshare without workshare",
+                    line=lineno, code="unbalanced-end",
+                )
+            self.open_workshare = None
+        else:
+            raise DirectiveError(
+                f"line {lineno}: unknown end-directive {what!r}",
+                line=lineno, code="unknown-directive",
+            )
+
+    def finish(self) -> list:
+        """End-of-source balance checks; returns the errors found."""
+        out = []
+        if self.current is not None:
+            out.append(DirectiveError(
+                "unterminated target region "
+                f"(opened at line {self.current.line})",
+                line=self.current.line, code="unterminated",
+            ))
+        if self.open_loop is not None:
+            out.append(DirectiveError(
+                "unterminated '!$omp do' loop "
+                f"(opened at line {self.open_loop.line})",
+                line=self.open_loop.line, code="unterminated",
+            ))
+        return out
+
+
+def parse_directives(source: str, errors: str = "raise") -> LaunchPlan:
     """Parse a Fortran-like source string into a :class:`LaunchPlan`.
 
     Recognised directives: ``target`` / ``end target`` (optionally
     combined with ``parallel`` and/or ``workshare``), ``parallel`` /
     ``end parallel``, ``do`` / ``end do``, ``workshare`` /
     ``end workshare``, with ``private(...)``, ``num_teams(...)`` and
-    ``nowait`` clauses.  Raises :class:`DirectiveError` on unbalanced
-    regions or loops outside a target.
-    """
-    plan = LaunchPlan()
-    current: TargetRegion | None = None
-    in_parallel = False
-    open_loop: LoopNest | None = None
-    open_workshare: WorkshareRegion | None = None
+    ``nowait`` clauses.  Trailing ``!`` comments are ignored; unknown
+    clauses and directives are structured errors, never silent drops.
 
-    lines = source.splitlines()
-    for lineno, raw in enumerate(lines, start=1):
+    ``errors="raise"`` (default) raises the first
+    :class:`DirectiveError`; ``errors="collect"`` records every error on
+    ``plan.errors`` (recovering line-by-line) and returns the
+    best-effort plan — the mode ``repro lint`` uses to report all
+    directive problems at once.
+    """
+    if errors not in ("raise", "collect"):
+        raise ValueError(f"errors must be 'raise' or 'collect', got {errors!r}")
+    p = _Parser()
+    for lineno, raw in enumerate(source.splitlines(), start=1):
         m = _SENTINEL.match(raw)
         if not m:
-            # Count the first Fortran statement of an open do/workshare.
-            stripped = raw.strip()
-            if not stripped or stripped.startswith("!"):
-                continue
-            if open_loop is not None and not open_loop.variable:
-                dm = re.match(r"do\s+(\w+)\s*=", stripped, re.IGNORECASE)
-                if dm:
-                    open_loop.variable = dm.group(1)
-            if open_workshare is not None:
-                open_workshare.statements += 1
+            p.plain_line(raw)
             continue
-
-        body = m.group(1).strip().lower()
-        cl = _clauses(m.group(1))
-
-        if body.startswith("end"):
-            what = body[3:].strip()
-            if what.startswith("target"):
-                if current is None:
-                    raise DirectiveError(f"line {lineno}: end target without target")
-                plan.targets.append(current)
-                current = None
-                in_parallel = False
-            elif what.startswith("parallel"):
-                if not in_parallel:
-                    raise DirectiveError(f"line {lineno}: end parallel without parallel")
-                in_parallel = False
-            elif what.startswith("do"):
-                if open_loop is None:
-                    raise DirectiveError(f"line {lineno}: end do without do")
-                open_loop.nowait = cl["nowait"]
-                open_loop = None
-            elif what.startswith("workshare"):
-                if open_workshare is None:
-                    raise DirectiveError(f"line {lineno}: end workshare without workshare")
-                open_workshare = None
-            else:
-                raise DirectiveError(f"line {lineno}: unknown end-directive {what!r}")
-            continue
-
-        if body.startswith("target"):
-            if current is not None:
-                raise DirectiveError(f"line {lineno}: nested target regions")
-            combined = []
-            rest = body[len("target"):]
-            if "parallel" in rest:
-                combined.append("parallel")
-                in_parallel = True
-            if "workshare" in rest:
-                combined.append("workshare")
-            current = TargetRegion(
-                line=lineno,
-                combined=tuple(combined),
-                private=cl.get("private", []),
-                num_teams=cl.get("num_teams"),
-            )
-            if "workshare" in combined:
-                ws = WorkshareRegion(line=lineno)
-                current.workshares.append(ws)
-                open_workshare = ws
-        elif body.startswith("parallel"):
-            if current is None:
-                raise DirectiveError(
-                    f"line {lineno}: parallel outside a target region "
-                    "(SWGOMP offloads through target)"
-                )
-            in_parallel = True
-            current.private.extend(cl.get("private", []))
-        elif body.startswith("do"):
-            if current is None or not in_parallel:
-                raise DirectiveError(
-                    f"line {lineno}: '!$omp do' outside target parallel"
-                )
-            loop = LoopNest(line=lineno)
-            current.loops.append(loop)
-            open_loop = loop
-        elif body.startswith("workshare"):
-            if current is None:
-                raise DirectiveError(f"line {lineno}: workshare outside target")
-            ws = WorkshareRegion(line=lineno)
-            current.workshares.append(ws)
-            open_workshare = ws
-        else:
-            raise DirectiveError(f"line {lineno}: unsupported directive {body!r}")
-
-    if current is not None:
-        raise DirectiveError("unterminated target region")
-    if open_loop is not None:
-        raise DirectiveError("unterminated '!$omp do' loop")
-    return plan
+        try:
+            p.directive_line(m.group(1), lineno)
+        except DirectiveError as err:
+            if errors == "raise":
+                raise
+            p.plan.errors.append(err)
+    tail = p.finish()
+    if tail and errors == "raise":
+        raise tail[0]
+    p.plan.errors.extend(tail)
+    if p.current is not None:
+        # Best-effort recovery: keep the unterminated region's contents.
+        p.plan.targets.append(p.current)
+    return p.plan
 
 
 #: The paper's Fig. 4 listing, verbatim (used by tests and the docs).

@@ -68,7 +68,9 @@ def omnicopy(
     return CopyRecord(nbytes=nbytes, engine="memcpy", seconds=nbytes / cpe.ldm_bandwidth)
 
 
-def ldm_capacity_arrays(n_arrays: int, elem_bytes: int, chunk: int, cpe: CPESpec | None = None) -> bool:
+def ldm_capacity_arrays(
+    n_arrays: int, elem_bytes: int, chunk: int, cpe: CPESpec | None = None
+) -> bool:
     """Can ``n_arrays`` chunks of ``chunk`` elements be staged into LDM?
 
     Used by kernels that copy variables onto the CPE stack "until the

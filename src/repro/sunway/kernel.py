@@ -54,6 +54,10 @@ class KernelSpec:
     #: True when the kernel stages thrash-prone arrays into LDM with
     #: omnicopy (section 3.3.4) — removes thrashing even without DST.
     ldm_staged: bool = False
+    #: Declared access pattern (an :class:`repro.analysis.access.AccessSpec`)
+    #: consumed by the static offload-plan analyzer (``repro lint``).
+    #: Typed loosely to keep this module free of analysis imports.
+    access: object = None
 
 
 @dataclass(frozen=True)

@@ -26,6 +26,16 @@ import numpy as np
 from repro.sunway.arch import CoreGroup
 
 
+class SWGOMPError(RuntimeError):
+    """Misuse of the SWGOMP runtime model.
+
+    Raised when a target region launches (or a spawn is requested)
+    before the MPE initialised the job server, mirroring the Athread
+    errors the paper's runtime produces on the real hardware.  The
+    static analyzer reports the same condition as rule SW003.
+    """
+
+
 @dataclass
 class SpawnEvent:
     """One job-server spawn: who asked, which CPE got the job."""
@@ -54,6 +64,10 @@ class JobServer:
         self._initialized = False
         self.cpes = [CPEState(i) for i in range(self.cg.n_cpes)]
         self.spawn_log: list[SpawnEvent] = []
+        #: Chunk-execution observers (e.g. the runtime sanitizer).  Each
+        #: needs ``begin_chunk(cpe, start, end)`` / ``end_chunk(...)``;
+        #: they bracket every chunk body a target region executes.
+        self.chunk_observers: list = []
 
     def init_from_mpe(self) -> None:
         """Athread initialisation performed by the MPE."""
@@ -61,7 +75,19 @@ class JobServer:
 
     def _require_init(self) -> None:
         if not self._initialized:
-            raise RuntimeError("job server not initialised by MPE (athread_init)")
+            raise SWGOMPError(
+                "target region launched before init_from_mpe (the MPE must "
+                "perform athread initialisation first) — statically "
+                "detectable as rule SW003"
+            )
+
+    def _begin_chunk(self, cpe: int, start: int, end: int) -> None:
+        for ob in self.chunk_observers:
+            ob.begin_chunk(cpe, start, end)
+
+    def _end_chunk(self, cpe: int, start: int, end: int) -> None:
+        for ob in self.chunk_observers:
+            ob.end_chunk(cpe, start, end)
 
     def spawn(self, spawner: str, target_cpe: int, role: str) -> None:
         """Assign a job to a CPE; spawner may be the MPE or another CPE."""
@@ -149,7 +175,12 @@ class TargetRegion:
             return 0.0
 
         def charge(lane: int, start: int, end: int) -> None:
-            body(start, end)
+            cpe = all_cpes[lane]
+            self.server._begin_chunk(cpe, start, end)
+            try:
+                body(start, end)
+            finally:
+                self.server._end_chunk(cpe, start, end)
             if callable(cost_per_elem):
                 dt = cost_per_elem(start, end)
             else:

@@ -1,0 +1,93 @@
+"""Tests of the `repro lint` command and the report driver."""
+
+import json
+
+import pytest
+
+from repro.analysis.report import lint_all, render_human, to_json
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def result():
+    return lint_all(sanitize=True)
+
+
+class TestLintAll:
+    def test_own_kernels_clean(self, result):
+        assert result["kernels"]["n_error"] == 0
+
+    def test_every_corpus_case_found(self, result):
+        assert result["corpus"]["all_expected_found"]
+        for case in result["corpus"]["cases"]:
+            assert case["ok"], case["name"]
+
+    def test_sanitizer_confirms_a_race(self, result):
+        case = next(c for c in result["corpus"]["cases"]
+                    if c["name"] == "racy_flux_accumulation")
+        verdicts = {d.rule: d.verdict for d in case["diagnostics"]}
+        assert verdicts["SW001"] == "CONFIRMED"
+        assert result["summary"]["confirmed"] >= 1
+
+    def test_strict_ok(self, result):
+        assert result["summary"]["strict_ok"]
+
+    def test_diagnostics_ranked_errors_first(self, result):
+        for case in result["corpus"]["cases"]:
+            sev = [int(d.severity) for d in case["diagnostics"]]
+            assert sev == sorted(sev, reverse=True)
+
+    def test_json_roundtrip(self, result):
+        blob = json.dumps(to_json(result))
+        back = json.loads(blob)
+        assert back["summary"]["strict_ok"] is True
+        rules = {d["rule"] for c in back["corpus"]["cases"]
+                 for d in c["diagnostics"]}
+        assert {f"SW00{k}" for k in range(1, 8)} <= rules
+
+    def test_human_report_mentions_rules_and_verdicts(self, result):
+        text = render_human(result)
+        for rule in ["SW001", "SW004", "SW006"]:
+            assert rule in text
+        assert "CONFIRMED" in text
+        assert "strict PASS" in text
+
+    def test_no_sanitize_leaves_verdicts_unset(self):
+        static_only = lint_all(sanitize=False)
+        assert static_only["summary"]["confirmed"] == 0
+        assert static_only["summary"]["strict_ok"]
+
+
+class TestCliLint:
+    def test_lint_human(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "registered kernels" in out
+        assert "known-bad corpus" in out
+
+    def test_lint_json_strict(self, capsys):
+        assert main(["lint", "--json", "--strict"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["strict_ok"] is True
+
+    def test_lint_no_sanitize(self, capsys):
+        assert main(["lint", "--no-sanitize", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["confirmed"] == 0
+
+    def test_strict_fails_on_missing_corpus_rule(self, monkeypatch, capsys):
+        # Simulate an analyzer regression: a corpus case stops tripping
+        # its rule.  strict must exit nonzero.
+        import repro.analysis.report as report
+
+        real = report.lint_all
+
+        def degraded(sanitize=True):
+            result = real(sanitize=sanitize)
+            result["corpus"]["all_expected_found"] = False
+            result["summary"]["strict_ok"] = False
+            return result
+
+        monkeypatch.setattr(report, "lint_all", degraded)
+        assert main(["lint", "--strict", "--no-sanitize"]) == 1
+        capsys.readouterr()

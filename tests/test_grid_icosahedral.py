@@ -1,6 +1,5 @@
 """Tests of the icosahedral triangulation generator."""
 
-import math
 
 import numpy as np
 import pytest

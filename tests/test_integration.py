@@ -9,7 +9,7 @@ from repro.comm.halo import HaloExchanger
 from repro.dycore import operators as ops
 from repro.dycore.kernels import MAJOR_KERNELS, sample_fields
 from repro.dycore.vertical import VerticalCoordinate
-from repro.grid.mesh import PAD, build_mesh
+from repro.grid.mesh import build_mesh
 from repro.partition.decomposition import decompose
 from repro.sunway.swgomp import JobServer, TargetRegion
 

@@ -119,7 +119,10 @@ class TestEdgeCellExchanger:
         ex = EdgeCellExchanger(locals_)
         rng = np.random.default_rng(1)
         for i in range(3):
-            ex.register_cell(f"c{i}", [lm.scatter_cell_field(rng.normal(size=mesh.nc)) for lm in locals_])
+            ex.register_cell(
+                f"c{i}",
+                [lm.scatter_cell_field(rng.normal(size=mesh.nc)) for lm in locals_],
+            )
         ex.register_edge("u", [lm.scatter_edge_field(rng.normal(size=mesh.ne)) for lm in locals_])
         ex.comm.stats.reset()
         ex.exchange()

@@ -73,6 +73,14 @@ class TestParserStructure:
         with pytest.raises(DirectiveError, match=msg):
             parse_directives(source)
 
+    def test_trailing_comment_stripped(self):
+        """Fig. 4 style `!$omp target !Just add this` must still parse."""
+        plan = parse_directives(
+            "!$omp target !parallel in a comment is not a clause\n"
+            "!$omp end target\n"
+        )
+        assert plan.targets[0].combined == ()
+
     def test_multiple_loops_one_region(self):
         src = (
             "!$omp target\n!$omp parallel\n"
@@ -84,6 +92,76 @@ class TestParserStructure:
         region = plan.targets[0]
         assert [loop.variable for loop in region.loops] == ["i", "j"]
         assert [loop.nowait for loop in region.loops] == [False, True]
+
+
+class TestStructuredErrors:
+    """Malformed directives produce structured errors, never silent drops."""
+
+    def test_unclosed_target_carries_line_and_code(self):
+        with pytest.raises(DirectiveError) as exc:
+            parse_directives("x = 1\n!$omp target\ny = 2\n")
+        assert exc.value.code == "unterminated"
+        assert exc.value.line == 2
+
+    def test_end_without_open_carries_line_and_code(self):
+        with pytest.raises(DirectiveError) as exc:
+            parse_directives("!$omp end target\n")
+        assert exc.value.code == "unbalanced-end"
+        assert exc.value.line == 1
+
+    @pytest.mark.parametrize("clause", [
+        "map(to:x)", "schedule(static,4)", "collapse(2)", "reduction(+:s)",
+    ])
+    def test_unknown_clause_rejected_not_dropped(self, clause):
+        with pytest.raises(DirectiveError) as exc:
+            parse_directives(f"!$omp target {clause}\n!$omp end target\n")
+        assert exc.value.code == "unknown-clause"
+        assert exc.value.line == 1
+
+    def test_known_clauses_still_accepted(self):
+        plan = parse_directives(
+            "!$omp target num_teams(2)\n"
+            "!$omp parallel private(i, j)\n"
+            "!$omp do\ndo i = 1, n\nend do\n!$omp end do nowait\n"
+            "!$omp end parallel\n!$omp end target\n"
+        )
+        region = plan.targets[0]
+        assert region.num_teams == 2
+        assert set(region.private) == {"i", "j"}
+        assert region.loops[0].nowait is True
+
+    def test_error_to_dict(self):
+        with pytest.raises(DirectiveError) as exc:
+            parse_directives("!$omp target map(to:x)\n!$omp end target\n")
+        d = exc.value.to_dict()
+        assert d["code"] == "unknown-clause"
+        assert d["line"] == 1
+        assert "map(to:x)" in d["message"]
+
+    def test_collect_mode_gathers_all_errors(self):
+        src = (
+            "!$omp end do\n"               # unbalanced-end
+            "!$omp target map(to:x)\n"     # unknown-clause
+            "!$omp target\n"               # opens; never closed
+            "!$omp end target\n"           # closes the line-3 target
+            "!$omp target\n"               # unterminated at EOF
+        )
+        plan = parse_directives(src, errors="collect")
+        codes = [e.code for e in plan.errors]
+        assert codes == ["unbalanced-end", "unknown-clause", "unterminated"]
+        assert all(isinstance(e, DirectiveError) for e in plan.errors)
+        # Best-effort recovery keeps the well-formed region AND the
+        # unterminated one.
+        assert plan.n_target_regions == 2
+
+    def test_collect_mode_clean_source_has_no_errors(self):
+        plan = parse_directives(FIG4_SOURCE, errors="collect")
+        assert plan.errors == []
+        assert plan.n_target_regions == 2
+
+    def test_invalid_errors_mode_rejected(self):
+        with pytest.raises(ValueError, match="raise.*collect"):
+            parse_directives("", errors="ignore")
 
 
 class TestHybridVerticalCoordinate:
