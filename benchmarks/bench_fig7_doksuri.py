@@ -7,18 +7,54 @@ G12L30's higher spatial correlation coefficients" against CMPA.
 The laptop analogue runs the idealised typhoon at G3 and G4 against a G5
 reference playing the CMPA role, and the headline inequality —
 correlation increases with horizontal resolution — must reproduce.
+
+The drivers (:func:`run_comparison`, :func:`run_horizontal_vs_vertical`)
+take the grid levels and hours as parameters so the smoke suite can run
+them at tiny sizes; the scientific assertions live only in the full-size
+tests below.
 """
 
 from benchmarks._util import print_header
-from repro.experiments.doksuri import resolution_comparison, run_doksuri_case
+from repro.experiments.doksuri import (
+    _in_box,
+    regrid_to,
+    resolution_comparison,
+    run_doksuri_case,
+    spatial_correlation,
+)
+
+
+def run_comparison(low_level=3, high_level=4, ref_level=5, nlev=8, hours=6.0):
+    """Fig. 7a driver: low/high-resolution runs vs a reference."""
+    return resolution_comparison(
+        low_level=low_level, high_level=high_level, ref_level=ref_level,
+        nlev=nlev, hours=hours,
+    )
+
+
+def run_horizontal_vs_vertical(
+    low_level=3, low_nlev=16, high_level=4, high_nlev=8,
+    ref_level=5, ref_nlev=8, hours=6.0,
+):
+    """Fig. 7b driver: more vertical levels vs more horizontal cells.
+
+    Returns ``(corr_lowres_morelevels, corr_highres)`` against the
+    reference run, both evaluated on the low-resolution mesh.
+    """
+    low_highlev = run_doksuri_case(low_level, nlev=low_nlev, hours=hours)
+    high_lowlev = run_doksuri_case(high_level, nlev=high_nlev, hours=hours)
+    ref = run_doksuri_case(ref_level, nlev=ref_nlev, hours=hours)
+    rain_h = regrid_to(low_highlev.mesh, high_lowlev.mesh, high_lowlev.mean_rain)
+    rain_r = regrid_to(low_highlev.mesh, ref.mesh, ref.mean_rain)
+    box = _in_box(low_highlev.mesh)
+    return (
+        spatial_correlation(low_highlev.mean_rain, rain_r, box),
+        spatial_correlation(rain_h, rain_r, box),
+    )
 
 
 def test_fig7_resolution_comparison(benchmark):
-    res = benchmark.pedantic(
-        resolution_comparison,
-        kwargs=dict(low_level=3, high_level=4, ref_level=5, nlev=8, hours=6.0),
-        rounds=1, iterations=1,
-    )
+    res = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
     print_header('FIG 7 — "23.7" extreme rainfall: resolution comparison')
     print("rain-band spatial correlation vs reference ('CMPA' = G5 run):")
     print(f"  low-res  (G3, ~890 km analogue of G11): r = {res['corr_low']:.3f}")
@@ -44,22 +80,8 @@ def test_fig7_horizontal_beats_vertical(benchmark):
     """The conclusion's claim: horizontal resolution matters more than
     vertical levels.  Run G3 with doubled vertical levels vs G4 with the
     base levels; the G4 run must match the reference better."""
-    from repro.experiments.doksuri import _in_box, regrid_to, spatial_correlation
-
-    def compare():
-        low_highlev = run_doksuri_case(3, nlev=16, hours=6.0)   # "G11L60"
-        high_lowlev = run_doksuri_case(4, nlev=8, hours=6.0)    # "G12L30"
-        ref = run_doksuri_case(5, nlev=8, hours=6.0)
-        rain_h = regrid_to(low_highlev.mesh, high_lowlev.mesh, high_lowlev.mean_rain)
-        rain_r = regrid_to(low_highlev.mesh, ref.mesh, ref.mean_rain)
-        box = _in_box(low_highlev.mesh)
-        return (
-            spatial_correlation(low_highlev.mean_rain, rain_r, box),
-            spatial_correlation(rain_h, rain_r, box),
-        )
-
     corr_lowres_morelevels, corr_highres = benchmark.pedantic(
-        compare, rounds=1, iterations=1
+        run_horizontal_vs_vertical, rounds=1, iterations=1
     )
     print_header("FIG 7b — horizontal vs vertical resolution")
     print(f"G3 x 16 levels ('G11L60'): r = {corr_lowres_morelevels:.3f}")

@@ -5,6 +5,11 @@
 rain pattern must correlate with the conventional one's.
 (c-f): the resolution-adaptive claim — the suite trained at one grid
 level runs stably at another and keeps the rainfall band structure.
+
+The drivers (:func:`train_setup`, :func:`run_short_integration`,
+:func:`run_resolution_adaptive`) take training and run sizes as
+parameters so the smoke suite can exercise them at tiny sizes; the
+scientific assertions live only in the full-size tests below.
 """
 
 import numpy as np
@@ -22,15 +27,39 @@ from repro.grid import build_mesh
 from repro.ml.data import TABLE1_PERIODS
 
 
+def train_setup(level=2, nlev=8, periods=None, hours_per_period=12,
+                epochs=6, width=24, n_resunits=2):
+    """Train the ML suite at one grid level; returns (mesh, vc, trained)."""
+    mesh = build_mesh(level)
+    vc = VerticalCoordinate.stretched(nlev)
+    trained = train_ml_suite(
+        mesh, vc, periods=periods if periods is not None else TABLE1_PERIODS,
+        hours_per_period=hours_per_period, epochs=epochs, width=width,
+        n_resunits=n_resunits,
+    )
+    return mesh, vc, trained
+
+
+def run_short_integration(mesh, vc, suite, spinup_hours=24.0, run_hours=8.0,
+                          seed=1):
+    """Fig. 8(a,b) driver: conventional vs ML from the same spun-up state."""
+    return short_integration_comparison(
+        mesh, vc, suite, spinup_hours=spinup_hours, run_hours=run_hours,
+        seed=seed,
+    )
+
+
+def run_resolution_adaptive(vc, suite, level=3, hours=24.0, seed=2):
+    """Fig. 8(c-f) driver: the trained suite on a *different* grid level."""
+    mesh_fine = build_mesh(level)
+    return mesh_fine, run_climate_case(
+        mesh_fine, vc, "DP-ML", hours=hours, physics_suite=suite, seed=seed
+    )
+
+
 @pytest.fixture(scope="module")
 def setup():
-    mesh2 = build_mesh(2)
-    vc = VerticalCoordinate.stretched(8)
-    trained = train_ml_suite(
-        mesh2, vc, periods=TABLE1_PERIODS, hours_per_period=12,
-        epochs=6, width=24, n_resunits=2,
-    )
-    return mesh2, vc, trained
+    return train_setup()
 
 
 def test_fig8ab_short_integration(benchmark, setup):
@@ -42,9 +71,8 @@ def test_fig8ab_short_integration(benchmark, setup):
           f"radiation test MSE {trained.radiation_test_mse:.3f}")
 
     res = benchmark.pedantic(
-        short_integration_comparison,
+        run_short_integration,
         args=(mesh2, vc, trained.suite),
-        kwargs=dict(spinup_hours=24.0, run_hours=8.0, seed=1),
         rounds=1, iterations=1,
     )
     print(f"\nmean rain (mm/day): conventional {res['conv_mean_mm_day']:.2f}, "
@@ -67,14 +95,10 @@ def test_fig8cf_resolution_adaptive(benchmark, setup):
     also works at another ('a 30km grid serves as a sub-grid to a 120km
     grid'); here, trained on G2 columns, it runs stably on G3."""
     mesh2, vc, trained = setup
-    mesh3 = build_mesh(3)
 
-    def run_fine():
-        return run_climate_case(
-            mesh3, vc, "DP-ML", hours=24.0, physics_suite=trained.suite, seed=2
-        )
-
-    res = benchmark.pedantic(run_fine, rounds=1, iterations=1)
+    mesh3, res = benchmark.pedantic(
+        run_resolution_adaptive, args=(vc, trained.suite), rounds=1, iterations=1
+    )
     print_header("FIG 8 (c-f analogue) — resolution adaptivity")
     print(f"'finer grid' (G3) with the G2-trained ML suite, 24 h: "
           f"stable={res.stable}, global {res.global_mean_mm_day:.3f} mm/day, "

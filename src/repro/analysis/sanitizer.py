@@ -3,11 +3,14 @@
 The static analyzer can only *suspect* a cross-chunk race (an indirect
 scatter might happen to be disjoint).  The sanitizer settles it: it runs
 each loop's body chunk-by-chunk through the real
-:class:`~repro.sunway.swgomp.JobServer` (registering itself as a chunk
-observer), with every array wrapped in a lightweight
-:class:`ShadowArray` that records the per-chunk read/write index sets.
-Two chunks writing the same element — or one writing what another reads
-— is an *observed* race; a suspected race with disjoint observed sets is
+:class:`~repro.sunway.swgomp.JobServer`, with every array wrapped in a
+lightweight :class:`ShadowArray` that records the per-chunk read/write
+index sets.  Chunk boundaries come from the runtime's own trace stream:
+the sanitizer subscribes to the job server's CHUNK spans
+(:mod:`repro.obs.trace`) rather than maintaining a private observer
+protocol, so it brackets exactly what the tracer says executed.  Two
+chunks writing the same element — or one writing what another reads —
+is an *observed* race; a suspected race with disjoint observed sets is
 a false positive.  :func:`verify` stamps each diagnostic's ``verdict``
 accordingly, closing the static/dynamic feedback loop.
 """
@@ -20,6 +23,7 @@ import numpy as np
 
 from repro.analysis.access import OffloadPlan, PlannedLoop
 from repro.analysis.diagnostics import CONFIRMED, FALSE_POSITIVE
+from repro.obs import SpanKind, Tracer
 from repro.precision.policy import is_sensitive
 from repro.sunway.arch import CoreGroup
 from repro.sunway.swgomp import JobServer, SWGOMPError, TargetRegion
@@ -90,13 +94,27 @@ class ChunkLog:
 
 
 class _Recorder:
-    """Chunk observer wired into the job server during a loop run."""
+    """Chunk bracketer wired into the runtime during a loop run.
+
+    Consumes the job server's CHUNK trace spans (the tracer-listener
+    methods); the legacy ``begin_chunk``/``end_chunk`` observer protocol
+    is kept for direct users and tests.
+    """
 
     def __init__(self) -> None:
         self.chunks: list = []
         self._current: ChunkLog | None = None
 
-    # JobServer chunk-observer protocol -----------------------------------
+    # Tracer-listener protocol (CHUNK spans from the job server) ----------
+    def on_span_open(self, span) -> None:
+        if span.kind is SpanKind.CHUNK:
+            self.begin_chunk(span.cpe, span.args["start"], span.args["end"])
+
+    def on_span_close(self, span) -> None:
+        if span.kind is SpanKind.CHUNK:
+            self.end_chunk(span.cpe, span.args["start"], span.args["end"])
+
+    # Legacy JobServer chunk-observer protocol ----------------------------
     def begin_chunk(self, cpe: int, start: int, end: int) -> None:
         self._current = ChunkLog(cpe=cpe, start=start, end=end)
 
@@ -169,14 +187,20 @@ class Sanitizer:
             name: ShadowArray(name, data, recorder)
             for name, data in arrays.items()
         }
-        self.server.chunk_observers.append(recorder)
+        # Subscribe to CHUNK spans via a non-recording tracer local to the
+        # job server: events stream to the recorder, nothing is retained.
+        tracer = Tracer(enabled=True, record=False)
+        tracer.add_listener(recorder)
+        saved = self.server.tracer
+        self.server.tracer = tracer
         try:
             region = TargetRegion(self.server)
             region.parallel_for(
-                lambda s, e: lp.body(shadows, s, e), lp.n_iters
+                lambda s, e: lp.body(shadows, s, e), lp.n_iters,
+                name=lp.name,
             )
         finally:
-            self.server.chunk_observers.remove(recorder)
+            self.server.tracer = saved
         return LoopObservation(loop=lp.name, chunks=recorder.chunks)
 
     def run_plan(self, plan: OffloadPlan, arrays: dict) -> dict:

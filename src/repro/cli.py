@@ -9,7 +9,9 @@ without writing any Python:
 * ``kernels``   — the Fig. 9 kernel speedup table;
 * ``train-ml``  — the section 3.2 training workflow;
 * ``grids``     — print Table 2;
-* ``lint``      — swlint: static offload-plan analysis + sanitizer.
+* ``lint``      — swlint: static offload-plan analysis + sanitizer;
+* ``profile``   — instrumented run: spans, metrics, Chrome trace, and
+  the predicted-vs-traced kernel reconciliation.
 """
 
 from __future__ import annotations
@@ -167,6 +169,58 @@ def _cmd_lint(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import json
+
+    from repro.perf.metrics import sdpd_from_trace
+    from repro.perf.reconcile import run_profile
+
+    result = run_profile(
+        level=args.level, nlev=args.nlev, steps=args.steps, seed=args.seed,
+        compare_model=args.compare_model,
+    )
+    tracer = result.pop("tracer")
+    if args.trace_out:
+        tracer.write_chrome_trace(args.trace_out)
+    try:
+        result["sdpd_traced"] = sdpd_from_trace(tracer, result["config"]["dt_dyn"])
+    except ValueError:
+        result["sdpd_traced"] = None
+
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        cfg = result["config"]
+        print(f"profiled G{cfg['level']} ({cfg['cells']} cells, "
+              f"nlev {cfg['nlev']}): {cfg['steps']} steps, "
+              f"{result['n_spans']} spans")
+        if result["sdpd_traced"] is not None:
+            print(f"traced speed: {result['sdpd_traced']:.1f} SDPD "
+                  f"(single in-process rank)")
+        print(f"\n{'span (kind:name)':42s} {'count':>7s} {'wall ms':>10s} "
+              f"{'sim ms':>10s}")
+        for key, st in sorted(result["aggregate"].items()):
+            print(f"{key:42s} {st['count']:7d} "
+                  f"{st['wall_seconds'] * 1e3:10.3f} "
+                  f"{st['sim_seconds'] * 1e3:10.3f}")
+        if args.compare_model:
+            print(f"\n{'kernel':38s} {'elems':>9s} {'predicted us':>13s} "
+                  f"{'traced us':>11s} {'rel err':>8s}")
+            for row in result["reconciliation"]:
+                print(f"{row['kernel']:38s} {row['elements']:9d} "
+                      f"{row['predicted_seconds'] * 1e6:13.2f} "
+                      f"{row['traced_seconds'] * 1e6:11.2f} "
+                      f"{row['relative_error']:8.4f}")
+            print(f"max relative error: {result['max_relative_error']:.4f}")
+    if args.trace_out and not args.json:
+        print(f"\nChrome trace written to {args.trace_out}")
+    if args.compare_model and result["max_relative_error"] > args.max_error:
+        print(f"FAIL: reconciliation error exceeds --max-error "
+              f"{args.max_error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -224,6 +278,26 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--no-sanitize", action="store_true",
                     help="static analysis only, skip the runtime sanitizer")
     sp.set_defaults(func=_cmd_lint)
+
+    sp = sub.add_parser(
+        "profile",
+        help="instrumented dycore run: span/metric report, Chrome trace, "
+             "predicted-vs-traced kernel reconciliation",
+    )
+    sp.add_argument("--level", type=int, default=3)
+    sp.add_argument("--nlev", type=int, default=8)
+    sp.add_argument("--steps", type=int, default=None,
+                    help="dynamics steps (default: one tracer ratio)")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--trace-out", default=None,
+                    help="write the Chrome trace-event JSON here")
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable JSON instead of the tables")
+    sp.add_argument("--compare-model", action="store_true",
+                    help="reconcile traced kernel costs vs the timer model")
+    sp.add_argument("--max-error", type=float, default=0.25,
+                    help="fail if any kernel's relative error exceeds this")
+    sp.set_defaults(func=_cmd_profile)
     return p
 
 

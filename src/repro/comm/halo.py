@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.comm.message import Communicator
+from repro.obs import SpanKind, get_tracer
 from repro.partition.decomposition import Subdomain
 
 
@@ -74,26 +75,39 @@ class HaloExchanger:
         names = list(self._registry)
         if not names:
             return
-        # Phase 1: every rank packs and posts one buffer per neighbour.
-        for sub in self.subdomains:
-            for nbr, send_idx in sub.send_cells.items():
-                chunks = []
-                for name in names:
-                    arr = self._registry[name][sub.rank]
-                    chunks.append(arr[send_idx].reshape(send_idx.size, -1))
-                packed = np.concatenate(chunks, axis=1)
-                self.comm.send(sub.rank, nbr, packed, tag=0)
-        # Phase 2: every rank drains its receives and unpacks.
-        for sub in self.subdomains:
-            for nbr, recv_idx in sub.recv_cells.items():
-                packed = self.comm.recv(nbr, sub.rank, tag=0)
-                col = 0
-                for name in names:
-                    arr = self._registry[name][sub.rank]
-                    width = int(np.prod(arr.shape[1:], dtype=np.int64)) or 1
-                    block = packed[:, col: col + width]
-                    arr[recv_idx] = block.reshape((recv_idx.size,) + arr.shape[1:])
-                    col += width
+        tracer = get_tracer()
+        msgs0, bytes0 = self.comm.stats.messages, self.comm.stats.bytes_sent
+        with tracer.span(
+            "halo.exchange", SpanKind.HALO_EXCHANGE, n_vars=len(names)
+        ) as ex_span:
+            # Phase 1: every rank packs and posts one buffer per neighbour.
+            with tracer.span("halo.pack", SpanKind.HALO_PACK, n_vars=len(names)):
+                for sub in self.subdomains:
+                    for nbr, send_idx in sub.send_cells.items():
+                        chunks = []
+                        for name in names:
+                            arr = self._registry[name][sub.rank]
+                            chunks.append(arr[send_idx].reshape(send_idx.size, -1))
+                        packed = np.concatenate(chunks, axis=1)
+                        self.comm.send(sub.rank, nbr, packed, tag=0)
+            # Phase 2: every rank drains its receives and unpacks.
+            with tracer.span("halo.unpack", SpanKind.HALO_UNPACK, n_vars=len(names)):
+                for sub in self.subdomains:
+                    for nbr, recv_idx in sub.recv_cells.items():
+                        packed = self.comm.recv(nbr, sub.rank, tag=0)
+                        col = 0
+                        for name in names:
+                            arr = self._registry[name][sub.rank]
+                            width = int(np.prod(arr.shape[1:], dtype=np.int64)) or 1
+                            block = packed[:, col: col + width]
+                            arr[recv_idx] = block.reshape(
+                                (recv_idx.size,) + arr.shape[1:]
+                            )
+                            col += width
+            ex_span.set(
+                messages=self.comm.stats.messages - msgs0,
+                bytes=self.comm.stats.bytes_sent - bytes0,
+            )
 
     def exchange_unaggregated(self) -> None:
         """Baseline: one message per variable per neighbour (for ablation)."""

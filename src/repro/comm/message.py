@@ -14,10 +14,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import get_metrics
+
 
 @dataclass
 class CommStats:
-    """Message/byte counters for one communicator."""
+    """Message/byte counters for one communicator.
+
+    The per-instance view tests assert on; every record also feeds the
+    global :class:`~repro.obs.MetricsRegistry` when one is collecting.
+    """
 
     messages: int = 0
     bytes_sent: int = 0
@@ -29,6 +35,14 @@ class CommStats:
         self.bytes_sent += nbytes
         key = (src, dst)
         self.per_pair[key] = self.per_pair.get(key, 0) + nbytes
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("comm.messages")
+            metrics.inc("comm.bytes", nbytes)
+
+    def record_collective(self) -> None:
+        self.collectives += 1
+        get_metrics().inc("comm.collectives")
 
     def reset(self) -> None:
         self.messages = 0
@@ -89,7 +103,7 @@ class Communicator:
         """Sum contribution of every rank; all ranks get the result."""
         if len(values) != self._size:
             raise ValueError("one contribution per rank required")
-        self.stats.collectives += 1
+        self.stats.record_collective()
         total = values[0]
         for v in values[1:]:
             total = total + v
@@ -98,7 +112,7 @@ class Communicator:
     def allreduce_max(self, values: list[float]) -> float:
         if len(values) != self._size:
             raise ValueError("one contribution per rank required")
-        self.stats.collectives += 1
+        self.stats.record_collective()
         return max(values)
 
     def gather(self, values: list[np.ndarray], root: int = 0) -> list[np.ndarray]:
@@ -106,7 +120,7 @@ class Communicator:
         self._check_rank(root)
         if len(values) != self._size:
             raise ValueError("one contribution per rank required")
-        self.stats.collectives += 1
+        self.stats.record_collective()
         for r, v in enumerate(values):
             if r != root:
                 self.stats.record(r, root, np.asarray(v).nbytes)

@@ -15,6 +15,7 @@ pinned to double.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,6 +31,7 @@ from repro.dycore.tracer import (
 )
 from repro.dycore.vertical import VerticalCoordinate, geopotential_interfaces
 from repro.grid.mesh import Mesh
+from repro.obs import SpanKind, get_metrics, get_tracer
 from repro.precision.policy import PrecisionPolicy
 
 
@@ -165,41 +167,61 @@ class DynamicalCore:
         inertia-gravity modes that plain Heun weakly amplifies.
         """
         dt = self.config.dt
-        t1 = self.compute_tendencies(state)
-        if self.config.rk_stages >= 3:
-            s1 = self._apply(state, t1, dt)
-            t2 = self.compute_tendencies(s1)
-            half = self._combine([t1, t2], [0.5, 0.5])
-            s2 = self._apply(state, half, 0.5 * dt)
-            t3 = self.compute_tendencies(s2)
-            used = self._combine([t1, t2, t3], [1 / 6, 1 / 6, 2 / 3])
-            s1 = self._apply(state, used, dt)
-        elif self.config.rk_stages == 2:
-            s1 = self._apply(state, t1, dt)
-            t2 = self.compute_tendencies(s1)
-            used = self._combine([t1, t2], [0.5, 0.5])
-            s1 = self._apply(state, used, dt)
-        else:
-            used = t1
-            s1 = self._apply(state, t1, dt)
-        # Accumulate the mass flux for the tracer step — always double.
-        self.flux_acc.add(used.flux_edge)
+        tracer = get_tracer()
+        wall0 = time.perf_counter()
+        with tracer.span("dycore.step", SpanKind.DYN_STEP, step=self._steps):
+            def stage(k: int, st: ModelState) -> Tendencies:
+                with tracer.span("dycore.rk_stage", SpanKind.RK_STAGE, stage=k):
+                    return self.compute_tendencies(st)
 
-        if self.config.nonhydrostatic:
-            dpi_new = s1.dpi()
-            s1.w, s1.phi = implicit_w_solve(
-                s1.w, s1.phi, dpi_new, s1.theta, dt
-            )
-        else:
-            p_int = self.vcoord.pressure_interfaces(s1.ps)
-            s1.phi = geopotential_interfaces(s1.phi_surface, s1.theta, p_int)
+            t1 = stage(1, state)
+            if self.config.rk_stages >= 3:
+                s1 = self._apply(state, t1, dt)
+                t2 = stage(2, s1)
+                half = self._combine([t1, t2], [0.5, 0.5])
+                s2 = self._apply(state, half, 0.5 * dt)
+                t3 = stage(3, s2)
+                used = self._combine([t1, t2, t3], [1 / 6, 1 / 6, 2 / 3])
+                s1 = self._apply(state, used, dt)
+            elif self.config.rk_stages == 2:
+                s1 = self._apply(state, t1, dt)
+                t2 = stage(2, s1)
+                used = self._combine([t1, t2], [0.5, 0.5])
+                s1 = self._apply(state, used, dt)
+            else:
+                used = t1
+                s1 = self._apply(state, t1, dt)
+            # Accumulate the mass flux for the tracer step — always double.
+            self.flux_acc.add(used.flux_edge)
 
-        if self.config.sponge_levels > 0:
-            self._apply_sponge(s1, dt)
+            if self.config.nonhydrostatic:
+                with tracer.span("dycore.implicit_w", SpanKind.VERTICAL_SOLVE):
+                    dpi_new = s1.dpi()
+                    s1.w, s1.phi = implicit_w_solve(
+                        s1.w, s1.phi, dpi_new, s1.theta, dt
+                    )
+            else:
+                with tracer.span("dycore.hydrostatic_phi", SpanKind.VERTICAL_SOLVE):
+                    p_int = self.vcoord.pressure_interfaces(s1.ps)
+                    s1.phi = geopotential_interfaces(
+                        s1.phi_surface, s1.theta, p_int
+                    )
 
-        self._steps += 1
-        if self._steps % self.config.tracer_ratio == 0:
-            self._tracer_step(state, s1)
+            if self.config.sponge_levels > 0:
+                with tracer.span("dycore.sponge", SpanKind.SPONGE):
+                    self._apply_sponge(s1, dt)
+
+            self._steps += 1
+            if self._steps % self.config.tracer_ratio == 0:
+                with tracer.span(
+                    "dycore.tracer_step", SpanKind.TRACER_STEP,
+                    n_tracers=len(s1.tracers),
+                ):
+                    self._tracer_step(state, s1)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("dycore.steps")
+            metrics.observe("dycore.step_wall_seconds", time.perf_counter() - wall0)
         return s1
 
     def _apply_sponge(self, state: ModelState, dt: float) -> None:

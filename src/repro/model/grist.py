@@ -18,6 +18,7 @@ from repro.dycore.vertical import VerticalCoordinate
 from repro.grid.mesh import Mesh
 from repro.model.config import GridConfig, SchemeConfig
 from repro.model.coupler import CouplingInterface
+from repro.obs import SpanKind, get_metrics, get_tracer
 from repro.physics.column import PhysicsConfig, PhysicsSuite
 from repro.physics.radiation import cosine_solar_zenith
 from repro.physics.surface import SurfaceModel, idealized_land_mask, idealized_sst
@@ -37,6 +38,11 @@ class RunHistory:
 
     def mean_precip(self) -> np.ndarray:
         """Time-mean precipitation rate (nc,) [kg/m^2/s]."""
+        if not self.precip:
+            raise ValueError(
+                "no physics steps recorded: the run was shorter than one "
+                "physics interval (physics_ratio dynamics steps)"
+            )
         return np.mean(np.array(self.precip), axis=0)
 
 
@@ -102,17 +108,25 @@ class GristModel:
     def step_physics(self, state: ModelState) -> None:
         """One physics step: extract -> suite -> apply (section 3.2.4)."""
         dt_phy = self.grid_config.dt_physics
-        coszr = cosine_solar_zenith(
-            self.mesh.cell_lat, self.mesh.cell_lon, state.time, self.day_of_year
-        )
-        fields = self.coupler.extract(state, self.surface.skin_temperature(), coszr)
-        tend = self.physics.compute_from_coupler(state, fields) if hasattr(
-            self.physics, "compute_from_coupler"
-        ) else self.physics.compute(state, fields.wind_speed_sfc)
-        self.coupler.apply_tendencies(
-            state, tend.dtheta, tend.dqv, tend.dqc, tend.dqr,
-            tend.surface_drag, dt_phy,
-        )
+        with get_tracer().span(
+            "model.physics_step", SpanKind.PHYSICS_STEP,
+            ml=bool(self.scheme.ml_physics),
+        ):
+            coszr = cosine_solar_zenith(
+                self.mesh.cell_lat, self.mesh.cell_lon, state.time,
+                self.day_of_year,
+            )
+            fields = self.coupler.extract(
+                state, self.surface.skin_temperature(), coszr
+            )
+            tend = self.physics.compute_from_coupler(state, fields) if hasattr(
+                self.physics, "compute_from_coupler"
+            ) else self.physics.compute(state, fields.wind_speed_sfc)
+            self.coupler.apply_tendencies(
+                state, tend.dtheta, tend.dqv, tend.dqc, tend.dqr,
+                tend.surface_drag, dt_phy,
+            )
+        get_metrics().inc("model.physics_steps")
         self.history.times.append(state.time)
         self.history.precip.append(np.asarray(tend.precip_total))
         self.history.gsw.append(np.asarray(tend.gsw))

@@ -1,0 +1,53 @@
+"""``repro.obs``: unified tracing & metrics for the simulated substrate.
+
+Two pillars:
+
+* :mod:`repro.obs.trace` — typed span events (kernel launches, chunk
+  executions, DMA transfers, cache replays, halo phases, timestep
+  stages) recorded by a low-overhead :class:`Tracer`, exportable as
+  Chrome trace-event JSON and as an aggregated per-span-name table.
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and histograms that the substrate layers publish into,
+  replacing scattered per-object counters as the one profiling surface.
+
+Both are off by default (the global instances drop everything), so
+instrumentation costs almost nothing unless a profile run — or the
+``repro profile`` CLI — installs enabled instances via
+:func:`tracing` / :func:`collecting`.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collecting,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.trace import (
+    Span,
+    SpanKind,
+    SpanStats,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanKind",
+    "SpanStats",
+    "Tracer",
+    "collecting",
+    "get_metrics",
+    "get_tracer",
+    "set_metrics",
+    "set_tracer",
+    "tracing",
+]

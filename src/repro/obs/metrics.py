@@ -1,0 +1,161 @@
+"""Central metrics registry: counters, gauges and histograms.
+
+Before this module, each substrate layer grew its own ad-hoc counters
+(``CacheStats`` on the LDCache, ``CommStats`` on the communicator, the
+per-CPE busy counters on the job server).  Those per-instance views
+remain — tests assert on them — but every layer now *also* publishes
+into the active :class:`MetricsRegistry`, so a profile run sees one
+table covering the whole substrate instead of hunting object attributes
+layer by layer.
+
+The default global registry is disabled and drops updates at the cost
+of one attribute check, mirroring the tracer's off-by-default contract
+(:mod:`repro.obs.trace`): existing tests run with zero behaviour change.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count (events, bytes, launches)."""
+
+    value: float = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """Last-written value (utilisation, occupancy)."""
+
+    value: float = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of observed samples (durations, sizes)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        if self.count == 0:
+            return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count, "total": self.total, "mean": self.mean,
+            "min": self.min, "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Name-addressed counters/gauges/histograms with one snapshot view.
+
+    Disabled registries hand out real instruments (so call sites never
+    branch) but creation is the only cost — a disabled registry is only
+    installed globally as the do-nothing default; enabled ones are what
+    profile runs and tests install via :func:`collecting`.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- instruments -----------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram()
+        return h
+
+    # -- shorthand used by instrumented call sites -----------------------
+    def inc(self, name: str, n: float = 1.0) -> None:
+        if self.enabled:
+            self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, v: float) -> None:
+        if self.enabled:
+            self.gauge(name).set(v)
+
+    def observe(self, name: str, v: float) -> None:
+        if self.enabled:
+            self.histogram(name).observe(v)
+
+    # -- views -----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready copy of every instrument."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+            "histograms": {k: h.to_dict() for k, h in sorted(self.histograms.items())},
+        }
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+#: Process-wide registry; disabled by default (drops all updates).
+_GLOBAL_METRICS = MetricsRegistry(enabled=False)
+
+
+def get_metrics() -> MetricsRegistry:
+    """The active global registry (disabled no-op by default)."""
+    return _GLOBAL_METRICS
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` globally; returns the previous one."""
+    global _GLOBAL_METRICS
+    prev = _GLOBAL_METRICS
+    _GLOBAL_METRICS = registry
+    return prev
+
+
+@contextmanager
+def collecting(registry: MetricsRegistry | None = None):
+    """Temporarily install an enabled registry; yields it."""
+    if registry is None:
+        registry = MetricsRegistry(enabled=True)
+    prev = set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(prev)

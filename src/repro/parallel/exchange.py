@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.comm.message import Communicator
+from repro.obs import SpanKind, get_tracer
 from repro.parallel.localmesh import LocalMesh
 
 
@@ -59,35 +60,54 @@ class EdgeCellExchanger:
         if not self._registry:
             return
         names = list(self._registry)
-        # Pack & post.
-        for lm in self.locals:
-            for nbr in self._neighbors(lm):
-                chunks = []
-                for name in names:
-                    kind, arrays = self._registry[name]
-                    idx = (lm.cell_send if kind == "cell" else lm.edge_send).get(nbr)
-                    if idx is None or idx.size == 0:
-                        continue
-                    chunks.append(arrays[lm.rank][idx].reshape(idx.size, -1).ravel())
-                payload = np.concatenate(chunks) if chunks else np.empty(0)
-                self.comm.send(lm.rank, nbr, payload, tag=7)
-        # Drain & unpack.
-        for lm in self.locals:
-            for nbr in self._neighbors(lm):
-                payload = self.comm.recv(nbr, lm.rank, tag=7)
-                pos = 0
-                for name in names:
-                    kind, arrays = self._registry[name]
-                    idx = (lm.cell_recv if kind == "cell" else lm.edge_recv).get(nbr)
-                    if idx is None or idx.size == 0:
-                        continue
-                    arr = arrays[lm.rank]
-                    width = int(np.prod(arr.shape[1:], dtype=np.int64)) or 1
-                    block = payload[pos: pos + idx.size * width]
-                    arr[idx] = block.reshape((idx.size,) + arr.shape[1:])
-                    pos += idx.size * width
-                if pos != payload.size:
-                    raise RuntimeError("exchange payload size mismatch")
+        tracer = get_tracer()
+        msgs0, bytes0 = self.comm.stats.messages, self.comm.stats.bytes_sent
+        with tracer.span(
+            "exchange.edge_cell", SpanKind.HALO_EXCHANGE, n_vars=len(names)
+        ) as ex_span:
+            # Pack & post.
+            with tracer.span("exchange.pack", SpanKind.HALO_PACK, n_vars=len(names)):
+                for lm in self.locals:
+                    for nbr in self._neighbors(lm):
+                        chunks = []
+                        for name in names:
+                            kind, arrays = self._registry[name]
+                            idx = (
+                                lm.cell_send if kind == "cell" else lm.edge_send
+                            ).get(nbr)
+                            if idx is None or idx.size == 0:
+                                continue
+                            chunks.append(
+                                arrays[lm.rank][idx].reshape(idx.size, -1).ravel()
+                            )
+                        payload = np.concatenate(chunks) if chunks else np.empty(0)
+                        self.comm.send(lm.rank, nbr, payload, tag=7)
+            # Drain & unpack.
+            with tracer.span(
+                "exchange.unpack", SpanKind.HALO_UNPACK, n_vars=len(names)
+            ):
+                for lm in self.locals:
+                    for nbr in self._neighbors(lm):
+                        payload = self.comm.recv(nbr, lm.rank, tag=7)
+                        pos = 0
+                        for name in names:
+                            kind, arrays = self._registry[name]
+                            idx = (
+                                lm.cell_recv if kind == "cell" else lm.edge_recv
+                            ).get(nbr)
+                            if idx is None or idx.size == 0:
+                                continue
+                            arr = arrays[lm.rank]
+                            width = int(np.prod(arr.shape[1:], dtype=np.int64)) or 1
+                            block = payload[pos: pos + idx.size * width]
+                            arr[idx] = block.reshape((idx.size,) + arr.shape[1:])
+                            pos += idx.size * width
+                        if pos != payload.size:
+                            raise RuntimeError("exchange payload size mismatch")
+            ex_span.set(
+                messages=self.comm.stats.messages - msgs0,
+                bytes=self.comm.stats.bytes_sent - bytes0,
+            )
 
     def messages_per_exchange(self) -> int:
         """Total messages of one exchange (the aggregation metric)."""

@@ -30,5 +30,22 @@ def sypd_from_sdpd(sdpd: float) -> float:
     return sdpd / DAYS_PER_YEAR
 
 
+def sdpd_from_trace(tracer, dt_dyn: float) -> float:
+    """SDPD of an instrumented run, from its traced DYN_STEP wall times.
+
+    ``tracer`` is a recording :class:`~repro.obs.Tracer` whose events
+    include the dycore's ``dyn_step`` spans; the mean wall time per step
+    is the measured counterpart of the analytic
+    :meth:`~repro.perf.model.PerformanceModel.step_cost`.
+    """
+    from repro.obs import SpanKind
+
+    steps = [s for s in tracer.events if s.kind is SpanKind.DYN_STEP]
+    if not steps:
+        raise ValueError("trace contains no dyn_step spans")
+    mean_wall = sum(s.wall_seconds for s in steps) / len(steps)
+    return sdpd_from_step_time(mean_wall, dt_dyn)
+
+
 def sdpd_from_sypd(sypd: float) -> float:
     return sypd * DAYS_PER_YEAR

@@ -20,6 +20,7 @@ from enum import Enum
 
 import numpy as np
 
+from repro.obs import SpanKind, get_metrics, get_tracer
 from repro.sunway.arch import CPESpec
 
 
@@ -64,8 +65,26 @@ def omnicopy(
             )
     np.copyto(dst, src)
     if crossing:
-        return CopyRecord(nbytes=nbytes, engine="dma", seconds=nbytes / cpe.dma_peak)
-    return CopyRecord(nbytes=nbytes, engine="memcpy", seconds=nbytes / cpe.ldm_bandwidth)
+        rec = CopyRecord(nbytes=nbytes, engine="dma", seconds=nbytes / cpe.dma_peak)
+    else:
+        rec = CopyRecord(
+            nbytes=nbytes, engine="memcpy", seconds=nbytes / cpe.ldm_bandwidth
+        )
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.instant(
+            "omnicopy",
+            SpanKind.DMA if rec.engine == "dma" else SpanKind.MEMCPY,
+            sim_seconds=rec.seconds,
+            nbytes=nbytes,
+            src=src_space.value,
+            dst=dst_space.value,
+        )
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.inc(f"{rec.engine}.transfers")
+        metrics.inc(f"{rec.engine}.bytes", nbytes)
+    return rec
 
 
 def ldm_capacity_arrays(

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.grid.mesh import Mesh
+from repro.obs import SpanKind
 from repro.sunway.arch import CoreGroup
 from repro.sunway.kernel import Engine, KernelTimer, Precision
 from repro.sunway.swgomp import JobServer, TargetRegion
@@ -116,11 +117,19 @@ class SWGOMPExecutor:
             fields = sample_fields(self.mesh, self.nlev)
         ex = StepExecution()
         self.server.reset_stats()
+        tracer = self.server.active_tracer()
         for name, reg in kernels.items():
             n = (self.mesh.ne if reg.element == "edge" else self.mesh.nc) * self.nlev
+            tracer.instant(
+                f"{name}.launch", SpanKind.KERNEL_LAUNCH,
+                sim_seconds=self.launch_overhead, kernel=name,
+            )
             region = TargetRegion(self.server, n_teams=self.n_teams)
             if run_numpy:
-                out = reg.run(self.mesh, fields)
+                with tracer.span(
+                    f"{name}.numpy", SpanKind.KERNEL_LAUNCH, engine="numpy"
+                ):
+                    out = reg.run(self.mesh, fields)
                 if not np.isfinite(out).all():
                     raise FloatingPointError(f"kernel {name} produced non-finite output")
 
@@ -128,6 +137,7 @@ class SWGOMPExecutor:
                 lambda s, e: None, n,
                 cost_per_elem=self._cost_fn(reg, n),
                 schedule=schedule,
+                name=name,
             )
             ex.runs.append(
                 KernelRun(

@@ -19,11 +19,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import SpanKind, get_metrics, get_tracer
+
 
 @dataclass
 class CacheStats:
     accesses: int = 0
     hits: int = 0
+    #: Valid lines displaced by a miss (cold-miss fills don't count).
+    evictions: int = 0
 
     @property
     def misses(self) -> int:
@@ -80,15 +84,40 @@ class LDCache:
             return True
         # Miss: evict LRU way.
         w = int(np.argmax(age))
+        if tags[w] != -1:
+            self.stats.evictions += 1
         tags[w] = tag
         age += 1
         age[w] = 0
         return False
 
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident (<= sets * ways)."""
+        return int(np.count_nonzero(self._tags != -1))
+
     def run(self, addresses: np.ndarray) -> CacheStats:
-        """Run a stream of byte addresses; returns the cumulative stats."""
-        for a in addresses:
-            self.access(int(a))
+        """Run a stream of byte addresses; returns the cumulative stats.
+
+        One replay = one CACHE trace span; hit/miss/evict deltas feed
+        the active metrics registry.
+        """
+        before = (self.stats.accesses, self.stats.hits, self.stats.evictions)
+        with get_tracer().span(
+            "ldcache.run", SpanKind.CACHE, n_addresses=len(addresses)
+        ) as span:
+            for a in addresses:
+                self.access(int(a))
+            d_acc = self.stats.accesses - before[0]
+            d_hit = self.stats.hits - before[1]
+            d_evict = self.stats.evictions - before[2]
+            span.set(hits=d_hit, misses=d_acc - d_hit, evictions=d_evict)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("ldcache.accesses", d_acc)
+            metrics.inc("ldcache.hits", d_hit)
+            metrics.inc("ldcache.misses", d_acc - d_hit)
+            metrics.inc("ldcache.evictions", d_evict)
+            metrics.set_gauge("ldcache.occupancy_lines", self.occupancy())
         return self.stats
 
 

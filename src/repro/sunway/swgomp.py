@@ -23,6 +23,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs import SpanKind, get_metrics, get_tracer
 from repro.sunway.arch import CoreGroup
 
 
@@ -59,15 +60,20 @@ class JobServer:
     target region launches, mirroring the Athread initialisation.
     """
 
-    def __init__(self, cg: CoreGroup | None = None):
+    def __init__(self, cg: CoreGroup | None = None, tracer=None):
         self.cg = cg or CoreGroup()
         self._initialized = False
         self.cpes = [CPEState(i) for i in range(self.cg.n_cpes)]
         self.spawn_log: list[SpawnEvent] = []
-        #: Chunk-execution observers (e.g. the runtime sanitizer).  Each
-        #: needs ``begin_chunk(cpe, start, end)`` / ``end_chunk(...)``;
-        #: they bracket every chunk body a target region executes.
+        #: Chunk-execution observers (legacy protocol, kept for direct
+        #: users).  Each needs ``begin_chunk(cpe, start, end)`` /
+        #: ``end_chunk(...)``; they bracket every chunk body a target
+        #: region executes.  New consumers (the sanitizer, the profiler)
+        #: subscribe to the tracer's CHUNK spans instead.
         self.chunk_observers: list = []
+        #: Tracer override for this server; ``None`` resolves the global
+        #: tracer at launch time (disabled no-op by default).
+        self.tracer = tracer
 
     def init_from_mpe(self) -> None:
         """Athread initialisation performed by the MPE."""
@@ -81,13 +87,31 @@ class JobServer:
                 "detectable as rule SW003"
             )
 
-    def _begin_chunk(self, cpe: int, start: int, end: int) -> None:
+    def _notify_observers(self, method: str, cpe: int, start: int, end: int) -> None:
+        """Call every chunk observer, converting observer failures into
+        :class:`SWGOMPError` naming the culprit — a silently broken
+        observer would otherwise invalidate sanitizer verdicts."""
         for ob in self.chunk_observers:
-            ob.begin_chunk(cpe, start, end)
+            try:
+                getattr(ob, method)(cpe, start, end)
+            except SWGOMPError:
+                raise
+            except Exception as exc:
+                raise SWGOMPError(
+                    f"chunk observer {type(ob).__name__}.{method} raised "
+                    f"{type(exc).__name__} on chunk [{start}, {end}) of "
+                    f"CPE {cpe}: {exc}"
+                ) from exc
+
+    def _begin_chunk(self, cpe: int, start: int, end: int) -> None:
+        self._notify_observers("begin_chunk", cpe, start, end)
 
     def _end_chunk(self, cpe: int, start: int, end: int) -> None:
-        for ob in self.chunk_observers:
-            ob.end_chunk(cpe, start, end)
+        self._notify_observers("end_chunk", cpe, start, end)
+
+    def active_tracer(self):
+        """This server's tracer, falling back to the process-global one."""
+        return self.tracer if self.tracer is not None else get_tracer()
 
     def spawn(self, spawner: str, target_cpe: int, role: str) -> None:
         """Assign a job to a CPE; spawner may be the MPE or another CPE."""
@@ -149,6 +173,7 @@ class TargetRegion:
         cost_per_elem: float | Callable[[int, int], float] = 0.0,
         schedule: str = "static",
         chunk: int | None = None,
+        name: str = "parallel_for",
     ) -> float:
         """Distribute ``body(start, end)`` over the CPEs of all teams.
 
@@ -160,9 +185,14 @@ class TargetRegion:
         SWGOMP default for conflict-free GRIST loops.  ``"dynamic"``
         round-robins chunks of size ``chunk``, modelling guided execution
         of irregular loops.
+
+        ``name`` labels the region's KERNEL_LAUNCH trace span (and its
+        CHUNK children) when tracing is enabled.
         """
         if n < 0:
             raise ValueError("n must be >= 0")
+        tracer = self.server.active_tracer()
+        metrics = get_metrics()
         all_cpes: list[int] = []
         for t, head in enumerate(self._team_heads):
             for m in self.team_members(t):
@@ -176,37 +206,48 @@ class TargetRegion:
 
         def charge(lane: int, start: int, end: int) -> None:
             cpe = all_cpes[lane]
-            self.server._begin_chunk(cpe, start, end)
-            try:
-                body(start, end)
-            finally:
-                self.server._end_chunk(cpe, start, end)
-            if callable(cost_per_elem):
-                dt = cost_per_elem(start, end)
-            else:
-                dt = cost_per_elem * (end - start)
+            span = tracer.span(name, SpanKind.CHUNK, cpe=cpe, start=start, end=end)
+            with span:
+                self.server._begin_chunk(cpe, start, end)
+                try:
+                    body(start, end)
+                finally:
+                    self.server._end_chunk(cpe, start, end)
+                if callable(cost_per_elem):
+                    dt = cost_per_elem(start, end)
+                else:
+                    dt = cost_per_elem * (end - start)
+                span.set(sim_seconds=dt)
             times[lane] += dt
             st = self.server.cpes[all_cpes[lane]]
             st.chunks_executed += 1
+            metrics.inc("swgomp.chunks")
 
-        if schedule == "static":
-            bounds = np.linspace(0, n, ncpe + 1).astype(int)
-            for lane in range(ncpe):
-                if bounds[lane + 1] > bounds[lane]:
-                    charge(lane, int(bounds[lane]), int(bounds[lane + 1]))
-        elif schedule == "dynamic":
-            chunk = chunk or max(1, n // (4 * ncpe))
-            pos, lane_time_order = 0, 0
-            while pos < n:
-                lane = int(np.argmin(times))
-                end = min(pos + chunk, n)
-                charge(lane, pos, end)
-                pos = end
-                lane_time_order += 1
-        else:
-            raise ValueError(f"unknown schedule {schedule!r}")
+        with tracer.span(
+            name, SpanKind.KERNEL_LAUNCH, n_elems=n, n_cpes=ncpe,
+            n_teams=self.n_teams, schedule=schedule,
+        ) as region_span:
+            if schedule == "static":
+                bounds = np.linspace(0, n, ncpe + 1).astype(int)
+                for lane in range(ncpe):
+                    if bounds[lane + 1] > bounds[lane]:
+                        charge(lane, int(bounds[lane]), int(bounds[lane + 1]))
+            elif schedule == "dynamic":
+                chunk = chunk or max(1, n // (4 * ncpe))
+                pos, lane_time_order = 0, 0
+                while pos < n:
+                    lane = int(np.argmin(times))
+                    end = min(pos + chunk, n)
+                    charge(lane, pos, end)
+                    pos = end
+                    lane_time_order += 1
+            else:
+                raise ValueError(f"unknown schedule {schedule!r}")
 
-        region_time = float(times.max())
+            region_time = float(times.max())
+            region_span.set(sim_seconds=region_time)
+        metrics.inc("swgomp.launches")
+        metrics.observe("swgomp.region_sim_seconds", region_time)
         for lane, cpe in enumerate(all_cpes):
             self.server.cpes[cpe].busy_seconds += times[lane]
         return region_time
@@ -216,8 +257,10 @@ class TargetRegion:
         assign: Callable[[slice], None],
         n: int,
         cost_per_elem: float = 0.0,
+        name: str = "workshare",
     ) -> float:
         """``!$omp target parallel workshare`` — array ops over CPEs."""
         return self.parallel_for(
-            lambda s, e: assign(slice(s, e)), n, cost_per_elem=cost_per_elem
+            lambda s, e: assign(slice(s, e)), n, cost_per_elem=cost_per_elem,
+            name=name,
         )

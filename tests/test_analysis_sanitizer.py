@@ -174,3 +174,41 @@ class TestVerification:
         san = Sanitizer(n_cpes=8)
         san.run_plan(plan, arrays)
         assert san.server.chunk_observers == []
+
+    def test_server_tracer_restored_after_run(self):
+        """run_loop installs its listener tracer and always puts the
+        server's previous tracer back, even if the loop body raises."""
+        from repro.analysis.access import PlannedLoop
+        from repro.obs import Tracer
+
+        san = Sanitizer(n_cpes=8)
+        mine = Tracer()
+        san.server.tracer = mine
+        plan, arrays = _disjoint_scatter_plan()
+        san.run_loop(plan.loops[0], arrays)
+        assert san.server.tracer is mine
+
+        def exploding(shadows, s, e):
+            raise RuntimeError("body blew up")
+
+        bad = PlannedLoop(name="boom", access=plan.loops[0].access,
+                          n_iters=16, body=exploding)
+        with pytest.raises(RuntimeError, match="body blew up"):
+            san.run_loop(bad, arrays)
+        assert san.server.tracer is mine
+
+    def test_recorder_consumes_chunk_trace_spans(self):
+        """The sanitizer's bracketer works as a tracer listener: CHUNK
+        spans drive begin/end, other kinds are ignored."""
+        from repro.obs import SpanKind, Tracer
+
+        rec = _Recorder()
+        t = Tracer(record=False)
+        t.add_listener(rec)
+        with t.span("k", SpanKind.KERNEL_LAUNCH):       # ignored
+            with t.span("k", SpanKind.CHUNK, cpe=2, start=0, end=8):
+                rec.record_write("a", np.arange(3))
+        assert len(rec.chunks) == 1
+        log = rec.chunks[0]
+        assert (log.cpe, log.start, log.end) == (2, 0, 8)
+        assert log.writes["a"] == {0, 1, 2}

@@ -155,6 +155,84 @@ class TestJobServer:
         with pytest.raises(ValueError):
             region.parallel_for(lambda s, e: None, 10, schedule="guided2")
 
+    def test_broken_chunk_observer_raises_swgomp_error(self):
+        """A crashing observer must surface as SWGOMPError naming the
+        observer — never be swallowed into a bogus sanitizer verdict."""
+        from repro.sunway.swgomp import SWGOMPError
+
+        class Broken:
+            def begin_chunk(self, cpe, start, end):
+                raise ValueError("shadow state corrupt")
+
+            def end_chunk(self, cpe, start, end):
+                pass
+
+        srv = JobServer()
+        srv.init_from_mpe()
+        srv.chunk_observers.append(Broken())
+        region = TargetRegion(srv)
+        with pytest.raises(SWGOMPError) as ei:
+            region.parallel_for(lambda s, e: None, 64)
+        msg = str(ei.value)
+        assert "Broken.begin_chunk" in msg
+        assert "ValueError" in msg
+        assert "shadow state corrupt" in msg
+        assert isinstance(ei.value.__cause__, ValueError)
+
+    def test_observer_swgomp_error_passes_through(self):
+        from repro.sunway.swgomp import SWGOMPError
+
+        class Strict:
+            def begin_chunk(self, cpe, start, end):
+                raise SWGOMPError("already the right type")
+
+            def end_chunk(self, cpe, start, end):
+                pass
+
+        srv = JobServer()
+        srv.init_from_mpe()
+        srv.chunk_observers.append(Strict())
+        region = TargetRegion(srv)
+        with pytest.raises(SWGOMPError, match="already the right type"):
+            region.parallel_for(lambda s, e: None, 64)
+
+    def test_broken_end_chunk_observer_named(self):
+        from repro.sunway.swgomp import SWGOMPError
+
+        class BadEnd:
+            def begin_chunk(self, cpe, start, end):
+                pass
+
+            def end_chunk(self, cpe, start, end):
+                raise KeyError("missing log")
+
+        srv = JobServer()
+        srv.init_from_mpe()
+        srv.chunk_observers.append(BadEnd())
+        region = TargetRegion(srv)
+        with pytest.raises(SWGOMPError, match="BadEnd.end_chunk"):
+            region.parallel_for(lambda s, e: None, 64)
+
+    def test_server_tracer_records_region_and_chunks(self):
+        from repro.obs import SpanKind, Tracer
+
+        srv = JobServer()
+        srv.init_from_mpe()
+        srv.tracer = Tracer()
+        region = TargetRegion(srv)
+        region.parallel_for(lambda s, e: None, 640, cost_per_elem=1e-9,
+                            name="my_kernel")
+        seq = srv.tracer.span_sequence()
+        assert seq[0] == ("kernel_launch", "my_kernel")
+        assert seq.count(("chunk", "my_kernel")) == srv.cg.n_cpes
+        region_span = next(
+            s for s in srv.tracer.events if s.kind is SpanKind.KERNEL_LAUNCH
+        )
+        assert region_span.sim_seconds == pytest.approx(640 * 1e-9 / 64)
+        chunk = next(s for s in srv.tracer.events if s.kind is SpanKind.CHUNK)
+        assert chunk.cpe is not None
+        assert chunk.args["end"] > chunk.args["start"]
+
 
 class TestKernelTimer:
     def setup_method(self):
