@@ -1,0 +1,272 @@
+"""Hot-path benchmark: exchange plans + distributed step (the repo's
+recorded perf baseline).
+
+Times the halo-exchange hot loop — legacy per-step concatenation vs the
+compiled :class:`~repro.parallel.exchange.ExchangePlan` path — and the
+full distributed dycore step at G3–G5, then writes ``BENCH_hotpath.json``
+with before/after numbers plus the tracer's per-span table (the same
+spans ``repro profile`` reports), so the speedup is visible both as
+wall-clock and inside the observability layer.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py            # full G3-G5
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --tiny     # CI smoke
+
+CI regression gate: ``--check BENCH_hotpath.json`` compares the
+machine-independent *speedup ratio* (legacy time / plan time, measured
+in the same process on the same machine) against the committed
+baseline and fails if the exchange hot loop regressed by more than 2x
+relative to it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+# Standalone execution (`python benchmarks/bench_hotpath.py`) puts only
+# the benchmarks/ directory on sys.path; make the repo root importable.
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT) not in sys.path:
+    sys.path.insert(0, str(_ROOT))
+
+import numpy as np
+
+from benchmarks._util import print_header
+from repro.dycore.solver import DycoreConfig
+from repro.dycore.state import solid_body_rotation_state
+from repro.dycore.vertical import VerticalCoordinate
+from repro.grid import build_mesh
+from repro.obs import SpanKind, tracing
+from repro.parallel.driver import DistributedDycore
+from repro.parallel.exchange import EdgeCellExchanger
+from repro.parallel.localmesh import build_local_meshes
+from repro.partition.decomposition import decompose
+from repro.partition.graph import mesh_cell_graph
+from repro.partition.metis import partition_graph
+
+SCHEMA = "bench_hotpath/1"
+
+#: (grid name, mesh level, ranks) — G5/8 is the acceptance point.
+FULL_GRIDS = [("G3", 3, 6), ("G4", 4, 8), ("G5", 5, 8)]
+TINY_GRIDS = [("G3", 3, 4)]
+
+
+def _build_locals(mesh, nparts):
+    part = partition_graph(mesh_cell_graph(mesh), nparts, seed=0)
+    subs = decompose(mesh, nparts, part=part)
+    return build_local_meshes(mesh, subs, part)
+
+
+def _register_dycore_fields(ex, mesh, locals_, nlev, mixed):
+    """The driver's field set (ps, theta, u), plus a float32 tracer
+    field when benchmarking the MIXED-precision payload."""
+    rng = np.random.default_rng(0)
+    ps = rng.normal(size=mesh.nc)
+    theta = rng.normal(size=(mesh.nc, nlev))
+    u = rng.normal(size=(mesh.ne, nlev))
+    ex.register_cell("ps", [lm.scatter_cell_field(ps) for lm in locals_])
+    ex.register_cell("theta", [lm.scatter_cell_field(theta) for lm in locals_])
+    ex.register_edge("u", [lm.scatter_edge_field(u) for lm in locals_])
+    if mixed:
+        q = rng.normal(size=(mesh.nc, nlev)).astype(np.float32)
+        ex.register_cell("q32", [lm.scatter_cell_field(q) for lm in locals_])
+
+
+def _time_calls(fn, iters: int, warmup: int = 2) -> float:
+    """Mean seconds per call."""
+    for _ in range(warmup):
+        fn()
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        fn()
+    return (time.perf_counter() - t0) / iters
+
+
+def _span_table(tracer) -> dict:
+    comm_kinds = {
+        SpanKind.HALO_PACK.value,
+        SpanKind.HALO_EXCHANGE.value,
+        SpanKind.HALO_UNPACK.value,
+    }
+    return {
+        f"{kind}:{name}": stats.to_dict()
+        for (kind, name), stats in tracer.aggregate().items()
+        if kind in comm_kinds
+    }
+
+
+def bench_exchange(mesh, locals_, nlev: int, iters: int, mixed: bool) -> dict:
+    """Legacy vs plan exchange on the same field set, with true-byte
+    accounting and the tracer span table for each path."""
+    out = {}
+    for label, use_plans in (("legacy", False), ("plan", True)):
+        ex = EdgeCellExchanger(locals_, use_plans=use_plans)
+        _register_dycore_fields(ex, mesh, locals_, nlev, mixed)
+        with tracing() as tr:
+            seconds = _time_calls(ex.exchange, iters)
+        ex.comm.stats.reset()
+        ex.exchange()
+        out[label] = {
+            "seconds_per_exchange": seconds,
+            "messages": ex.comm.stats.messages,
+            "wire_bytes": ex.comm.stats.bytes_sent,
+            "spans": _span_table(tr),
+        }
+    out["speedup"] = (
+        out["legacy"]["seconds_per_exchange"]
+        / out["plan"]["seconds_per_exchange"]
+    )
+    out["plan_compilations"] = 1
+    return out
+
+
+def bench_step(mesh, nparts: int, nlev: int, steps: int) -> dict:
+    """Wall time of the full distributed dycore step (plan path)."""
+    vc = VerticalCoordinate.uniform(nlev)
+    dist = DistributedDycore(mesh, vc, DycoreConfig(dt=600.0), nparts=nparts)
+    dist.scatter(solid_body_rotation_state(mesh, vc))
+    dist.run(1)  # warmup: compiles plans, builds operator caches
+    with tracing() as tr:
+        t0 = time.perf_counter()
+        dist.run(steps)
+        wall = time.perf_counter() - t0
+    return {
+        "seconds_per_step": wall / steps,
+        "comm": dist.comm_stats(),
+        "spans": _span_table(tr),
+    }
+
+
+def mixed_roundtrip_check(mesh, locals_) -> dict:
+    """A MIXED-precision exchange must round-trip float32 fields with
+    dtype and values intact, with no float64 anywhere in the payload."""
+    rng = np.random.default_rng(7)
+    g32 = rng.normal(size=(mesh.nc, 4)).astype(np.float32)
+    g64 = rng.normal(size=mesh.nc)
+    p32 = [lm.scatter_cell_field(g32) for lm in locals_]
+    p64 = [lm.scatter_cell_field(g64) for lm in locals_]
+    for lm, a in zip(locals_, p32):
+        a[lm.n_owned_cells:] = np.nan
+    ex = EdgeCellExchanger(locals_)
+    ex.register_cell("q32", p32)
+    ex.register_cell("t64", p64)
+    ex.exchange()
+    dtype_ok = all(a.dtype == np.float32 for a in p32)
+    values_ok = all(
+        np.array_equal(a, g32[lm.cells]) for lm, a in zip(locals_, p32)
+    )
+    payload_dtypes_ok = all(
+        str(s.dtype) == ("float32" if s.name == "q32" else "float64")
+        for plan in ex.plans.values() for s in plan.recv_slots
+    )
+    expected_bytes = sum(
+        idx.size * (4 * 4 + 8)
+        for lm in locals_ for idx in lm.cell_send.values()
+    )
+    return {
+        "float32_dtype_preserved": dtype_ok,
+        "float32_values_bitwise": values_ok,
+        "payload_slot_dtypes_correct": payload_dtypes_ok,
+        "wire_bytes_true": ex.bytes_per_exchange() == expected_bytes,
+    }
+
+
+def run(grids, nlev: int, iters: int, steps: int) -> dict:
+    results = {"schema": SCHEMA, "generated_unix": time.time(), "grids": {}}
+    for name, level, nparts in grids:
+        mesh = build_mesh(level)
+        locals_ = _build_locals(mesh, nparts)
+        ex_res = bench_exchange(mesh, locals_, nlev, iters, mixed=False)
+        ex_mixed = bench_exchange(mesh, locals_, nlev, max(iters // 2, 3),
+                                  mixed=True)
+        step_res = bench_step(mesh, nparts, nlev, steps)
+        results["grids"][name] = {
+            "level": level,
+            "nparts": nparts,
+            "nlev": nlev,
+            "nc": mesh.nc,
+            "ne": mesh.ne,
+            "exchange": ex_res,
+            "exchange_mixed": ex_mixed,
+            "step": step_res,
+            "mixed_roundtrip": mixed_roundtrip_check(mesh, locals_),
+        }
+        print_header(f"HOT PATH — {name} ({mesh.nc} cells, {nparts} ranks)")
+        leg, pln = ex_res["legacy"], ex_res["plan"]
+        print(f"exchange legacy: {leg['seconds_per_exchange'] * 1e3:8.3f} ms  "
+              f"({leg['wire_bytes'] / 1e3:.0f} KB on the wire)")
+        print(f"exchange plan:   {pln['seconds_per_exchange'] * 1e3:8.3f} ms  "
+              f"({pln['wire_bytes'] / 1e3:.0f} KB on the wire)")
+        print(f"speedup:         {ex_res['speedup']:8.2f}x")
+        print(f"mixed payload:   legacy {ex_mixed['legacy']['wire_bytes'] / 1e3:.0f} KB "
+              f"-> plan {ex_mixed['plan']['wire_bytes'] / 1e3:.0f} KB "
+              f"(float32 travels as 4 bytes)")
+        print(f"distributed step: {step_res['seconds_per_step'] * 1e3:.1f} ms/step")
+    return results
+
+
+def check_regression(results: dict, baseline_path: str, factor: float = 2.0) -> list[str]:
+    """Compare speedup ratios against the committed baseline.
+
+    Absolute times are machine-dependent; the legacy/plan ratio is
+    measured in-process on the same data, so a collapse of that ratio
+    (> ``factor``) means the plan hot loop itself regressed.
+    """
+    baseline = json.loads(Path(baseline_path).read_text())
+    failures = []
+    for name, res in results["grids"].items():
+        base = baseline["grids"].get(name)
+        if base is None:
+            continue
+        got, want = res["exchange"]["speedup"], base["exchange"]["speedup"]
+        if got < want / factor:
+            failures.append(
+                f"{name}: exchange speedup {got:.2f}x < baseline "
+                f"{want:.2f}x / {factor}"
+            )
+        mixed = res["mixed_roundtrip"]
+        bad = [k for k, v in mixed.items() if not v]
+        if bad:
+            failures.append(f"{name}: mixed-precision contract broken: {bad}")
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--tiny", action="store_true",
+                    help="G3-only smoke configuration (CI)")
+    ap.add_argument("--out", default="BENCH_hotpath.json",
+                    help="output JSON path")
+    ap.add_argument("--check", metavar="BASELINE",
+                    help="fail if the exchange hot loop regressed >2x "
+                         "against this committed baseline")
+    ap.add_argument("--iters", type=int, default=None,
+                    help="timing iterations per exchange path")
+    args = ap.parse_args(argv)
+
+    if args.tiny:
+        grids, nlev, iters, steps = TINY_GRIDS, 6, args.iters or 10, 2
+    else:
+        grids, nlev, iters, steps = FULL_GRIDS, 10, args.iters or 30, 4
+
+    results = run(grids, nlev=nlev, iters=iters, steps=steps)
+    Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if args.check:
+        failures = check_regression(results, args.check)
+        if failures:
+            for f in failures:
+                print(f"REGRESSION: {f}", file=sys.stderr)
+            return 1
+        print("regression check against committed baseline: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

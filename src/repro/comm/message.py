@@ -28,6 +28,7 @@ class CommStats:
     messages: int = 0
     bytes_sent: int = 0
     collectives: int = 0
+    collective_bytes: int = 0
     per_pair: dict = field(default_factory=dict)  # (src, dst) -> bytes
 
     def record(self, src: int, dst: int, nbytes: int) -> None:
@@ -40,14 +41,19 @@ class CommStats:
             metrics.inc("comm.messages")
             metrics.inc("comm.bytes", nbytes)
 
-    def record_collective(self) -> None:
+    def record_collective(self, nbytes: int = 0) -> None:
         self.collectives += 1
-        get_metrics().inc("comm.collectives")
+        self.collective_bytes += nbytes
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("comm.collectives")
+            metrics.inc("comm.collective_bytes", nbytes)
 
     def reset(self) -> None:
         self.messages = 0
         self.bytes_sent = 0
         self.collectives = 0
+        self.collective_bytes = 0
         self.per_pair.clear()
 
 
@@ -77,14 +83,24 @@ class Communicator:
             raise ValueError(f"rank {rank} out of range [0, {self._size})")
 
     # -- point to point ---------------------------------------------------
-    def send(self, src: int, dst: int, buf: np.ndarray, tag: int = 0) -> None:
-        """Post a buffer from ``src`` to ``dst``; delivered on ``recv``."""
+    def send(
+        self, src: int, dst: int, buf: np.ndarray, tag: int = 0,
+        copy: bool = True,
+    ) -> None:
+        """Post a buffer from ``src`` to ``dst``; delivered on ``recv``.
+
+        ``copy=False`` is the zero-copy handoff for persistent-buffer
+        senders (the compiled halo-exchange plans): the mailbox keeps a
+        reference instead of a copy — the MPI rendezvous-protocol
+        analogue — and the caller promises not to mutate ``buf`` until
+        the matching :meth:`recv` has drained it.
+        """
         self._check_rank(src)
         self._check_rank(dst)
         key = (src, dst, tag)
         if key in self._mailbox:
             raise RuntimeError(f"unreceived message already pending for {key}")
-        self._mailbox[key] = np.array(buf, copy=True)
+        self._mailbox[key] = np.array(buf, copy=True) if copy else buf
         self.stats.record(src, dst, self._mailbox[key].nbytes)
 
     def recv(self, src: int, dst: int, tag: int = 0) -> np.ndarray:
@@ -99,11 +115,17 @@ class Communicator:
         return len(self._mailbox)
 
     # -- collectives ------------------------------------------------------
+    @staticmethod
+    def _contribution_bytes(values: list) -> int:
+        """On-the-wire bytes of one contribution per rank (scalars count
+        as their NumPy representation, i.e. 8 bytes for a float)."""
+        return sum(np.asarray(v).nbytes for v in values)
+
     def allreduce_sum(self, values: list[np.ndarray | float]) -> np.ndarray | float:
         """Sum contribution of every rank; all ranks get the result."""
         if len(values) != self._size:
             raise ValueError("one contribution per rank required")
-        self.stats.record_collective()
+        self.stats.record_collective(self._contribution_bytes(values))
         total = values[0]
         for v in values[1:]:
             total = total + v
@@ -112,16 +134,23 @@ class Communicator:
     def allreduce_max(self, values: list[float]) -> float:
         if len(values) != self._size:
             raise ValueError("one contribution per rank required")
-        self.stats.record_collective()
+        self.stats.record_collective(self._contribution_bytes(values))
         return max(values)
 
     def gather(self, values: list[np.ndarray], root: int = 0) -> list[np.ndarray]:
-        """Gather per-rank buffers at the root (returned as a list)."""
+        """Gather per-rank buffers at the root (returned as a list).
+
+        Accounted like the other collectives (bytes of every non-root
+        contribution into ``collective_bytes``) rather than as fake
+        point-to-point messages, so the network model sees one
+        consistent collective-traffic counter.
+        """
         self._check_rank(root)
         if len(values) != self._size:
             raise ValueError("one contribution per rank required")
-        self.stats.record_collective()
-        for r, v in enumerate(values):
-            if r != root:
-                self.stats.record(r, root, np.asarray(v).nbytes)
+        self.stats.record_collective(
+            self._contribution_bytes(
+                [v for r, v in enumerate(values) if r != root]
+            )
+        )
         return [np.array(v, copy=True) for v in values]

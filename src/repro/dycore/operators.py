@@ -8,6 +8,17 @@ scheme — and preserve the usual mimetic identities (divergence of a
 curl-free... the divergence theorem holds discretely: area-weighted
 divergence sums to zero over the sphere; curl of a gradient vanishes to
 round-off), which the test suite checks.
+
+Per-mesh operator cache
+-----------------------
+Every operator used to re-derive its adjacency on each call (clipping
+padded index tables, building pad masks, multiplying sign tables by
+edge lengths).  :func:`mesh_ops` compiles those once per mesh into an
+:class:`OperatorCache` stored on the mesh instance, and every operator
+reuses it.  The cached arrays are produced by exactly the same
+expressions as before, so operator outputs stay bitwise identical —
+only the per-call index/weight recomputation disappears from the hot
+loop.
 """
 
 from __future__ import annotations
@@ -17,11 +28,69 @@ import numpy as np
 from repro.grid.mesh import Mesh, PAD
 
 
+class OperatorCache:
+    """Precomputed index/weight structure for one mesh (built once)."""
+
+    __slots__ = (
+        "cell_edges_idx", "cell_edges_pad", "cell_edges_valid", "div_w",
+        "vertex_edges_idx", "curl_w",
+        "cell_vertices_idx", "cell_vertices_valid",
+        "edge_c1", "edge_c2", "edge_v1", "edge_v2",
+        "_v2c_weights",
+    )
+
+    def __init__(self, mesh: Mesh):
+        ce = mesh.cell_edges
+        self.cell_edges_idx = np.clip(ce, 0, None)
+        self.cell_edges_pad = ce == PAD
+        self.cell_edges_valid = ce >= 0
+        le = np.where(ce >= 0, mesh.le[self.cell_edges_idx], 0.0)
+        self.div_w = mesh.cell_edge_sign * le                 # (nc, D)
+
+        ve = mesh.vertex_edges
+        self.vertex_edges_idx = np.clip(ve, 0, None)
+        de = np.where(ve >= 0, mesh.de[self.vertex_edges_idx], 0.0)
+        self.curl_w = mesh.vertex_edge_sign * de              # (nv, 3)
+
+        cv = mesh.cell_vertices
+        self.cell_vertices_idx = np.clip(cv, 0, None)
+        self.cell_vertices_valid = cv >= 0
+
+        # Contiguous copies of the hot endpoint columns (the sliced
+        # views have stride 2, which slows fancy indexing).
+        self.edge_c1 = np.ascontiguousarray(mesh.edge_cells[:, 0])
+        self.edge_c2 = np.ascontiguousarray(mesh.edge_cells[:, 1])
+        self.edge_v1 = np.ascontiguousarray(mesh.edge_vertices[:, 0])
+        self.edge_v2 = np.ascontiguousarray(mesh.edge_vertices[:, 1])
+
+        # dtype -> (mask, clamped count) for vertex_to_cell, built lazily
+        # per dtype so mixed-precision callers keep their exact dtypes.
+        self._v2c_weights: dict = {}
+
+    def v2c_weights(self, dtype: np.dtype) -> tuple[np.ndarray, np.ndarray]:
+        got = self._v2c_weights.get(dtype)
+        if got is None:
+            mask = self.cell_vertices_valid.astype(dtype)
+            cnt = np.maximum(mask.sum(axis=1), 1.0)
+            got = (mask, cnt)
+            self._v2c_weights[dtype] = got
+        return got
+
+
+def mesh_ops(mesh: Mesh) -> OperatorCache:
+    """The mesh's operator cache, compiled on first use."""
+    cache = getattr(mesh, "_op_cache", None)
+    if cache is None:
+        cache = OperatorCache(mesh)
+        mesh._op_cache = cache
+    return cache
+
+
 def _gather_edges(mesh: Mesh, edge_field: np.ndarray) -> np.ndarray:
     """Gather an edge field to (nc, MAX_DEG, ...) with zeros at pads."""
-    idx = np.clip(mesh.cell_edges, 0, None)
-    out = edge_field[idx]
-    out[mesh.cell_edges == PAD] = 0.0
+    ops = mesh_ops(mesh)
+    out = edge_field[ops.cell_edges_idx]
+    out[ops.cell_edges_pad] = 0.0
     return out
 
 
@@ -32,9 +101,7 @@ def divergence(mesh: Mesh, flux_edge: np.ndarray) -> np.ndarray:
     volume form; exact conservation: ``sum_i A_i * div_i == 0``.
     """
     gathered = _gather_edges(mesh, flux_edge)           # (nc, D, ...)
-    sign = mesh.cell_edge_sign
-    le = np.where(mesh.cell_edges >= 0, mesh.le[np.clip(mesh.cell_edges, 0, None)], 0.0)
-    w = sign * le                                        # (nc, D)
+    w = mesh_ops(mesh).div_w                             # (nc, D)
     extra = gathered.ndim - 2
     w = w.reshape(w.shape + (1,) * extra)
     acc = (gathered * w).sum(axis=1)
@@ -44,10 +111,9 @@ def divergence(mesh: Mesh, flux_edge: np.ndarray) -> np.ndarray:
 
 def gradient(mesh: Mesh, cell_field: np.ndarray) -> np.ndarray:
     """Normal gradient at edges: ``(psi(c2) - psi(c1)) / de``."""
-    c1 = mesh.edge_cells[:, 0]
-    c2 = mesh.edge_cells[:, 1]
+    ops = mesh_ops(mesh)
     de = mesh.de.reshape((-1,) + (1,) * (cell_field.ndim - 1))
-    return (cell_field[c2] - cell_field[c1]) / de
+    return (cell_field[ops.edge_c2] - cell_field[ops.edge_c1]) / de
 
 
 def curl(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
@@ -57,11 +123,9 @@ def curl(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
     the corresponding dual edge, so the circulation around a dual
     triangle is ``sum_e sign(v,e) * u_e * de_e``.
     """
-    idx = np.clip(mesh.vertex_edges, 0, None)
-    ue = u_edge[idx]                                      # (nv, 3, ...)
-    sign = mesh.vertex_edge_sign
-    de = np.where(mesh.vertex_edges >= 0, mesh.de[idx], 0.0)
-    w = sign * de
+    ops = mesh_ops(mesh)
+    ue = u_edge[ops.vertex_edges_idx]                     # (nv, 3, ...)
+    w = ops.curl_w
     extra = ue.ndim - 2
     w = w.reshape(w.shape + (1,) * extra)
     acc = (ue * w).sum(axis=1)
@@ -71,35 +135,31 @@ def curl(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
 
 def cell_to_edge(mesh: Mesh, cell_field: np.ndarray) -> np.ndarray:
     """Arithmetic two-cell average onto edges (2nd-order centred)."""
-    c1 = mesh.edge_cells[:, 0]
-    c2 = mesh.edge_cells[:, 1]
-    return 0.5 * (cell_field[c1] + cell_field[c2])
+    ops = mesh_ops(mesh)
+    return 0.5 * (cell_field[ops.edge_c1] + cell_field[ops.edge_c2])
 
 
 def cell_to_edge_upwind(mesh: Mesh, cell_field: np.ndarray, u_edge: np.ndarray) -> np.ndarray:
     """First-order upwind edge value based on the sign of u (c1 -> c2)."""
-    c1 = mesh.edge_cells[:, 0]
-    c2 = mesh.edge_cells[:, 1]
-    return np.where(u_edge >= 0.0, cell_field[c1], cell_field[c2])
+    ops = mesh_ops(mesh)
+    return np.where(u_edge >= 0.0, cell_field[ops.edge_c1], cell_field[ops.edge_c2])
 
 
 def vertex_to_edge(mesh: Mesh, vertex_field: np.ndarray) -> np.ndarray:
     """Two-vertex average onto edges."""
-    v1 = mesh.edge_vertices[:, 0]
-    v2 = mesh.edge_vertices[:, 1]
-    return 0.5 * (vertex_field[v1] + vertex_field[v2])
+    ops = mesh_ops(mesh)
+    return 0.5 * (vertex_field[ops.edge_v1] + vertex_field[ops.edge_v2])
 
 
 def vertex_to_cell(mesh: Mesh, vertex_field: np.ndarray) -> np.ndarray:
     """Area-style average of the cell's surrounding vertices."""
-    idx = np.clip(mesh.cell_vertices, 0, None)
-    vals = vertex_field[idx]
-    mask = (mesh.cell_vertices >= 0).astype(vals.dtype)
+    ops = mesh_ops(mesh)
+    vals = vertex_field[ops.cell_vertices_idx]
+    mask, cnt = ops.v2c_weights(vals.dtype)
     extra = vals.ndim - 2
     mask = mask.reshape(mask.shape + (1,) * extra)
     s = (vals * mask).sum(axis=1)
-    cnt = mask.sum(axis=1)
-    return s / np.maximum(cnt, 1.0)
+    return s / cnt.reshape(cnt.shape + (1,) * extra)
 
 
 def reconstruct_cell_vectors(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
@@ -108,12 +168,10 @@ def reconstruct_cell_vectors(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
     Returns shape ``(nc, 3)`` for a 2-D ``(ne,)`` input or
     ``(nc, 3, nlev)`` for ``(ne, nlev)`` input.
     """
-    idx = np.clip(mesh.cell_edges, 0, None)
-    ug = u_edge[idx]                                       # (nc, D, ...)
-    ug = np.where(
-        (mesh.cell_edges >= 0).reshape(mesh.cell_edges.shape + (1,) * (ug.ndim - 2)),
-        ug, 0.0,
-    )
+    ops = mesh_ops(mesh)
+    ug = u_edge[ops.cell_edges_idx]                        # (nc, D, ...)
+    valid = ops.cell_edges_valid
+    ug = np.where(valid.reshape(valid.shape + (1,) * (ug.ndim - 2)), ug, 0.0)
     if ug.ndim == 2:
         return np.einsum("nik,nk->ni", mesh.cell_recon, ug)
     return np.einsum("nik,nkl->nil", mesh.cell_recon, ug)
@@ -126,10 +184,9 @@ def tangential_velocity(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
     the edge tangent — the simplified perpendicular reconstruction used
     in place of full TRSK weights.
     """
+    ops = mesh_ops(mesh)
     vec = reconstruct_cell_vectors(mesh, u_edge)           # (nc, 3[, nlev])
-    c1 = mesh.edge_cells[:, 0]
-    c2 = mesh.edge_cells[:, 1]
-    ve = 0.5 * (vec[c1] + vec[c2])                         # (ne, 3[, nlev])
+    ve = 0.5 * (vec[ops.edge_c1] + vec[ops.edge_c2])       # (ne, 3[, nlev])
     if ve.ndim == 2:
         return np.einsum("ej,ej->e", ve, mesh.edge_tangent)
     return np.einsum("ejl,ej->el", ve, mesh.edge_tangent)
@@ -154,12 +211,11 @@ def laplacian_edge(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
     Used for horizontal diffusion of momentum; approximate but adequate
     as a stabiliser (coefficient-scaled in the solver).
     """
+    ops = mesh_ops(mesh)
     div = divergence(mesh, u_edge)
     zeta = curl(mesh, u_edge)
     grad_div = gradient(mesh, div)
     # curl of vorticity along the edge: tangential difference of zeta.
-    v1 = mesh.edge_vertices[:, 0]
-    v2 = mesh.edge_vertices[:, 1]
     le = mesh.le.reshape((-1,) + (1,) * (u_edge.ndim - 1))
-    curl_zeta = (zeta[v2] - zeta[v1]) / le
+    curl_zeta = (zeta[ops.edge_v2] - zeta[ops.edge_v1]) / le
     return grad_div - curl_zeta

@@ -69,6 +69,7 @@ class DistributedDycore:
         ]
         self._states: list[RankState] | None = None
         self._exchanger: EdgeCellExchanger | None = None
+        self._scratch: list[ModelState] | None = None
 
     # -- state distribution ------------------------------------------------
     def scatter(self, state: ModelState) -> None:
@@ -87,6 +88,25 @@ class DistributedDycore:
         ex.register_cell("theta", [s.theta for s in self._states])
         ex.register_edge("u", [s.u for s in self._states])
         self._exchanger = ex
+        # Per-rank scratch ModelStates, allocated once: they alias the
+        # RankState arrays (which are only ever written in place), so the
+        # 3-per-RK-stage tendency evaluations reuse the same w/phi zeros
+        # instead of allocating fresh ones every call.
+        nlev = self.vcoord.nlev
+        self._scratch = [
+            ModelState(
+                mesh=lm.mesh,
+                vcoord=self.vcoord,
+                ps=st.ps,
+                u=st.u,
+                theta=st.theta,
+                w=np.zeros((lm.n_cells, nlev + 1)),
+                phi=np.zeros((lm.n_cells, nlev + 1)),
+                phi_surface=st.phi_surface,
+                tracers={},
+            )
+            for lm, st in zip(self.locals, self._states)
+        ]
 
     def gather(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Reassemble global (ps, u, theta) from owned entities."""
@@ -106,18 +126,9 @@ class DistributedDycore:
 
     # -- stepping ------------------------------------------------------------
     def _local_model_state(self, lm: LocalMesh, st: RankState) -> ModelState:
-        nlev = self.vcoord.nlev
-        return ModelState(
-            mesh=lm.mesh,
-            vcoord=self.vcoord,
-            ps=st.ps,
-            u=st.u,
-            theta=st.theta,
-            w=np.zeros((lm.n_cells, nlev + 1)),
-            phi=np.zeros((lm.n_cells, nlev + 1)),
-            phi_surface=st.phi_surface,
-            tracers={},
-        )
+        # The cached scratch state aliases st's arrays (written in place
+        # by _apply), so no per-call allocation is needed.
+        return self._scratch[lm.rank]
 
     def _tendencies_all(self) -> list[Tendencies]:
         """Halo exchange, then per-rank tendency evaluation."""

@@ -5,9 +5,31 @@ tracers at cells) and the prognostic normal velocity (at edges).  In the
 spirit of section 3.1.3's linked-list aggregation, *all* registered
 variables of both kinds are packed into a single buffer per neighbour
 pair and shipped with one communication call.
+
+Exchange plans
+--------------
+The per-step work is compiled once into per-(rank, neighbour)
+:class:`ExchangePlan` objects: the neighbour sets, the send/recv index
+arrays, every field's (offset, width, dtype) slot in the wire buffer,
+and the contiguous pack buffer itself are all precomputed, so
+:meth:`EdgeCellExchanger.exchange` is a pure gather-into-buffer /
+scatter-from-buffer loop with zero per-step array allocation on the
+pack side.  This is the halo-exchange analogue of hoisting index
+computation out of the timestep loop that Python weather stacks rely on
+to close the performance gap.
+
+The wire format preserves every field's dtype: the buffer is raw bytes
+with per-field dtype views (widest itemsize first, so every slot stays
+naturally aligned with zero padding), a float32 field travels as 4
+bytes per element next to float64 neighbours, and unpack writes each
+block back through a view of the same dtype — no silent up- or
+downcasts anywhere in the payload path, and ``bytes_sent`` counts true
+on-the-wire bytes under ``PrecisionPolicy(mixed=True)``.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -16,22 +38,96 @@ from repro.obs import SpanKind, get_tracer
 from repro.parallel.localmesh import LocalMesh
 
 
-class EdgeCellExchanger:
-    """One aggregated halo exchange across all ranks' local meshes."""
+@dataclass
+class _SendSlot:
+    """One field's gather program: indices plus a reusable buffer view."""
 
-    def __init__(self, locals_: list[LocalMesh], comm: Communicator | None = None):
+    name: str
+    idx: np.ndarray      # local entity indices to gather
+    offset: int          # byte offset into the pack buffer
+    view: np.ndarray     # dtype-typed view into the pack buffer
+
+
+@dataclass
+class _RecvSlot:
+    """One field's scatter program: indices plus the payload layout."""
+
+    name: str
+    idx: np.ndarray
+    offset: int          # byte offset into the payload
+    nbytes: int
+    dtype: np.dtype
+    trailing: tuple      # trailing (non-entity) shape of the field
+
+
+@dataclass
+class ExchangePlan:
+    """Compiled pack/unpack program for one (rank, neighbour) pair.
+
+    ``send_buffer`` is allocated once at compile time and reused on
+    every exchange; its total size is the exact on-the-wire byte count
+    of the aggregated message (per-field dtypes, no padding).
+
+    Because the exchange posts sends zero-copy from persistent buffers,
+    the payload received from the neighbour is its equally persistent
+    ``send_buffer`` — so the unpack views (``recv_views``) are compiled
+    once against ``peer_buffer`` and unpacking is a pure
+    scatter-from-view loop.  ``recv_slots`` keeps the explicit layout
+    for introspection/tests and as the fallback when a communicator
+    delivers a copy instead of the peer's buffer.
+    """
+
+    rank: int
+    neighbor: int
+    send_buffer: np.ndarray          # raw uint8 wire buffer, reused
+    send_slots: list[_SendSlot]
+    recv_slots: list[_RecvSlot]
+    recv_nbytes: int
+    peer_buffer: np.ndarray | None = None
+    #: (name, idx, dtype-typed view into peer_buffer) per field.
+    recv_views: list[tuple] | None = None
+
+    @property
+    def send_nbytes(self) -> int:
+        return self.send_buffer.nbytes
+
+
+class EdgeCellExchanger:
+    """One aggregated halo exchange across all ranks' local meshes.
+
+    ``use_plans=False`` selects the legacy per-step concatenation path
+    (recomputes neighbour sets and allocates fresh payloads each call,
+    and upcasts mixed payloads to float64); it is kept as the
+    before/after reference for ``benchmarks/bench_hotpath.py``.
+    """
+
+    def __init__(
+        self,
+        locals_: list[LocalMesh],
+        comm: Communicator | None = None,
+        use_plans: bool = True,
+    ):
         self.locals = locals_
         self.comm = comm or Communicator(len(locals_))
+        self.use_plans = use_plans
         # name -> ("cell"|"edge", [per-rank arrays])
         self._registry: dict[str, tuple[str, list[np.ndarray]]] = {}
+        self._plans: dict[tuple[int, int], ExchangePlan] | None = None
+        self._rank_plans: list[list[ExchangePlan]] | None = None
+        self._neighbor_lists: list[list[int]] | None = None
+        #: Number of plan compilations (tests assert it stays at 1
+        #: across repeated exchanges).
+        self.plan_compilations = 0
 
     def register_cell(self, name: str, per_rank: list[np.ndarray]) -> None:
         self._check(per_rank, "cell")
         self._registry[name] = ("cell", per_rank)
+        self._plans = None
 
     def register_edge(self, name: str, per_rank: list[np.ndarray]) -> None:
         self._check(per_rank, "edge")
         self._registry[name] = ("edge", per_rank)
+        self._plans = None
 
     def _check(self, per_rank: list[np.ndarray], kind: str) -> None:
         if len(per_rank) != len(self.locals):
@@ -43,10 +139,27 @@ class EdgeCellExchanger:
                     f"rank {lm.rank}: leading dim {arr.shape[0]} != local "
                     f"{kind} count {n}"
                 )
+        # A coherent wire format needs one dtype and one trailing shape
+        # per field across ranks.
+        ref = per_rank[0]
+        for lm, arr in zip(self.locals, per_rank):
+            if arr.dtype != ref.dtype or arr.shape[1:] != ref.shape[1:]:
+                raise ValueError(
+                    f"rank {lm.rank}: dtype/trailing shape "
+                    f"{arr.dtype}/{arr.shape[1:]} differs from rank 0's "
+                    f"{ref.dtype}/{ref.shape[1:]}"
+                )
 
     def replace(self, name: str, per_rank: list[np.ndarray]) -> None:
-        kind, _ = self._registry[name]
+        kind, old = self._registry[name]
         self._check(per_rank, kind)
+        # Same dtype and trailing shape leave the compiled layout valid;
+        # anything else forces a recompile.
+        if (
+            per_rank[0].dtype != old[0].dtype
+            or per_rank[0].shape[1:] != old[0].shape[1:]
+        ):
+            self._plans = None
         self._registry[name] = (kind, per_rank)
 
     def _neighbors(self, lm: LocalMesh) -> list[int]:
@@ -55,10 +168,169 @@ class EdgeCellExchanger:
             | set(lm.edge_send) | set(lm.edge_recv)
         )
 
+    # -- plan compilation --------------------------------------------------
+    def _field_order(self) -> list[str]:
+        """Wire order of the registered fields: widest itemsize first
+        (keeps every slot offset naturally aligned without padding),
+        stable registration order within equal itemsizes."""
+        return sorted(
+            self._registry,
+            key=lambda n: -self._registry[n][1][0].dtype.itemsize,
+        )
+
+    def _compile_plans(self) -> None:
+        names = self._field_order()
+        self._neighbor_lists = [self._neighbors(lm) for lm in self.locals]
+        plans: dict[tuple[int, int], ExchangePlan] = {}
+        for lm, nbrs in zip(self.locals, self._neighbor_lists):
+            for nbr in nbrs:
+                # (name, idx, offset, nbytes, dtype, trailing) per field.
+                send_layout: list[tuple] = []
+                recv_layout: list[_RecvSlot] = []
+                send_nbytes = 0
+                recv_nbytes = 0
+                for name in names:
+                    kind, arrays = self._registry[name]
+                    arr = arrays[lm.rank]
+                    trailing = arr.shape[1:]
+                    width = int(np.prod(trailing, dtype=np.int64)) or 1
+                    itemsize = arr.dtype.itemsize
+                    sidx = (
+                        lm.cell_send if kind == "cell" else lm.edge_send
+                    ).get(nbr)
+                    if sidx is not None and sidx.size:
+                        nb = sidx.size * width * itemsize
+                        send_layout.append(
+                            (name, sidx, send_nbytes, nb, arr.dtype, trailing)
+                        )
+                        send_nbytes += nb
+                    ridx = (
+                        lm.cell_recv if kind == "cell" else lm.edge_recv
+                    ).get(nbr)
+                    if ridx is not None and ridx.size:
+                        nb = ridx.size * width * itemsize
+                        recv_layout.append(
+                            _RecvSlot(name, ridx, recv_nbytes, nb,
+                                      arr.dtype, trailing)
+                        )
+                        recv_nbytes += nb
+                buffer = np.empty(send_nbytes, dtype=np.uint8)
+                send_slots = [
+                    _SendSlot(
+                        name, sidx, off,
+                        buffer[off: off + nb]
+                        .view(dtype)
+                        .reshape((sidx.size,) + trailing),
+                    )
+                    for name, sidx, off, nb, dtype, trailing in send_layout
+                ]
+                plans[(lm.rank, nbr)] = ExchangePlan(
+                    rank=lm.rank,
+                    neighbor=nbr,
+                    send_buffer=buffer,
+                    send_slots=send_slots,
+                    recv_slots=recv_layout,
+                    recv_nbytes=recv_nbytes,
+                )
+        # Link each plan to its mirror: with zero-copy sends the payload
+        # recv() returns IS the neighbour's persistent send_buffer, so
+        # the unpack views can be compiled now instead of sliced per
+        # exchange.  A size mismatch (inconsistent decomposition) leaves
+        # peer_buffer unset and the runtime fallback raises.
+        for (rank, nbr), plan in plans.items():
+            peer = plans.get((nbr, rank))
+            if peer is None or peer.send_nbytes != plan.recv_nbytes:
+                continue
+            plan.peer_buffer = peer.send_buffer
+            plan.recv_views = [
+                (
+                    slot.name, slot.idx,
+                    peer.send_buffer[slot.offset: slot.offset + slot.nbytes]
+                    .view(slot.dtype)
+                    .reshape((slot.idx.size,) + slot.trailing),
+                )
+                for slot in plan.recv_slots
+            ]
+        self._plans = plans
+        self._rank_plans = [
+            [plans[(lm.rank, nbr)] for nbr in nbrs]
+            for lm, nbrs in zip(self.locals, self._neighbor_lists)
+        ]
+        self.plan_compilations += 1
+
+    @property
+    def plans(self) -> dict[tuple[int, int], ExchangePlan]:
+        """The compiled plans (compiling first if needed)."""
+        if self._plans is None:
+            self._compile_plans()
+        return self._plans
+
+    # -- the exchange ------------------------------------------------------
     def exchange(self) -> None:
         """One aggregated exchange: a single message per neighbour pair."""
         if not self._registry:
             return
+        if not self.use_plans:
+            self._exchange_legacy()
+            return
+        if self._plans is None:
+            self._compile_plans()
+        registry = self._registry
+        plans = self._plans
+        tracer = get_tracer()
+        n_vars = len(registry)
+        msgs0, bytes0 = self.comm.stats.messages, self.comm.stats.bytes_sent
+        with tracer.span(
+            "exchange.edge_cell", SpanKind.HALO_EXCHANGE, n_vars=n_vars
+        ) as ex_span:
+            # Pack & post: gather straight into the reusable wire buffer.
+            with tracer.span("exchange.pack", SpanKind.HALO_PACK, n_vars=n_vars):
+                for rank, plan_list in enumerate(self._rank_plans):
+                    for plan in plan_list:
+                        for slot in plan.send_slots:
+                            np.take(
+                                registry[slot.name][1][rank], slot.idx,
+                                axis=0, out=slot.view,
+                            )
+                        # Zero-copy handoff: the per-pair wire buffer is
+                        # not repacked until after the matching recv of
+                        # this same exchange has drained it.
+                        self.comm.send(
+                            rank, plan.neighbor, plan.send_buffer,
+                            tag=7, copy=False,
+                        )
+            # Drain & unpack: scatter each dtype-typed block in place.
+            with tracer.span(
+                "exchange.unpack", SpanKind.HALO_UNPACK, n_vars=n_vars
+            ):
+                for rank, plan_list in enumerate(self._rank_plans):
+                    for plan in plan_list:
+                        payload = self.comm.recv(plan.neighbor, rank, tag=7)
+                        if payload is plan.peer_buffer:
+                            # Fast path: payload is the neighbour's
+                            # persistent buffer; the views were compiled
+                            # with the plan.
+                            for name, idx, view in plan.recv_views:
+                                registry[name][1][rank][idx] = view
+                            continue
+                        if payload.nbytes != plan.recv_nbytes:
+                            raise RuntimeError("exchange payload size mismatch")
+                        for slot in plan.recv_slots:
+                            block = (
+                                payload[slot.offset: slot.offset + slot.nbytes]
+                                .view(slot.dtype)
+                                .reshape((slot.idx.size,) + slot.trailing)
+                            )
+                            registry[slot.name][1][rank][slot.idx] = block
+            ex_span.set(
+                messages=self.comm.stats.messages - msgs0,
+                bytes=self.comm.stats.bytes_sent - bytes0,
+            )
+
+    def _exchange_legacy(self) -> None:
+        """The pre-plan path: per-step neighbour discovery, fancy-index
+        selection and payload concatenation (upcasting mixed payloads to
+        float64).  Benchmark reference only."""
         names = list(self._registry)
         tracer = get_tracer()
         msgs0, bytes0 = self.comm.stats.messages, self.comm.stats.bytes_sent
@@ -112,3 +384,7 @@ class EdgeCellExchanger:
     def messages_per_exchange(self) -> int:
         """Total messages of one exchange (the aggregation metric)."""
         return sum(len(self._neighbors(lm)) for lm in self.locals)
+
+    def bytes_per_exchange(self) -> int:
+        """True on-the-wire bytes of one aggregated exchange."""
+        return sum(plan.send_nbytes for plan in self.plans.values())

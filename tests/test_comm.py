@@ -70,6 +70,62 @@ class TestCommunicator:
             comm.allreduce_sum([1.0])
 
 
+class TestCollectiveAccounting:
+    """Collectives record their payload bytes — consistently across
+    allreduce/gather — into ``collective_bytes``, never into the
+    point-to-point message/byte counters."""
+
+    def test_allreduce_sum_bytes(self):
+        comm = Communicator(3)
+        comm.allreduce_sum([np.zeros(4), np.zeros(4), np.zeros(4)])
+        assert comm.stats.collectives == 1
+        assert comm.stats.collective_bytes == 3 * 32
+        assert comm.stats.messages == 0
+        assert comm.stats.bytes_sent == 0
+
+    def test_allreduce_scalar_bytes(self):
+        comm = Communicator(2)
+        comm.allreduce_sum([1.0, 2.0])
+        comm.allreduce_max([1.0, 2.0])
+        assert comm.stats.collectives == 2
+        assert comm.stats.collective_bytes == 2 * 2 * 8
+
+    def test_gather_accounts_as_collective(self):
+        comm = Communicator(3)
+        comm.gather([np.zeros(2), np.zeros(2), np.zeros(2)], root=0)
+        assert comm.stats.collectives == 1
+        # Non-root contributions only (the root's data never moves).
+        assert comm.stats.collective_bytes == 2 * 16
+        assert comm.stats.messages == 0
+        assert comm.stats.bytes_sent == 0
+
+    def test_reset_clears_collective_bytes(self):
+        comm = Communicator(2)
+        comm.allreduce_sum([1.0, 2.0])
+        comm.stats.reset()
+        assert comm.stats.collectives == 0
+        assert comm.stats.collective_bytes == 0
+
+    def test_metrics_feed_and_disabled_guard(self):
+        from repro.obs import collecting, get_metrics
+
+        comm = Communicator(2)
+        with collecting() as r:
+            comm.allreduce_sum([np.zeros(2), np.zeros(2)])
+        snap = r.snapshot()
+        assert snap["counters"]["comm.collectives"] == 1.0
+        assert snap["counters"]["comm.collective_bytes"] == 32.0
+        # Outside `collecting`, the default registry is disabled; the
+        # guard must keep both record paths from emitting anything.
+        assert not get_metrics().enabled
+        comm.allreduce_max([1.0, 2.0])
+        comm.send(0, 1, np.zeros(1))
+        comm.recv(0, 1)
+        with collecting() as r2:
+            pass
+        assert "comm.collectives" not in r2.snapshot()["counters"]
+
+
 class TestHaloExchange:
     def test_exchange_fills_halo(self, mesh, subs):
         hx = HaloExchanger(subs)

@@ -202,3 +202,39 @@ class TestLaplacians:
         # A uniform (rigid) flow has small diffusion relative to u/de^2.
         scale = np.abs(un).max() / mesh.de.mean() ** 2
         assert np.abs(lap).max() < 0.1 * scale
+
+
+class TestOperatorCache:
+    """The per-mesh index/weight cache: built once, bitwise-neutral."""
+
+    def test_cache_built_once_per_mesh(self):
+        mesh = build_mesh(2)
+        c1 = ops.mesh_ops(mesh)
+        rng = np.random.default_rng(0)
+        ops.divergence(mesh, rng.normal(size=mesh.ne))
+        ops.curl(mesh, rng.normal(size=mesh.ne))
+        assert ops.mesh_ops(mesh) is c1
+
+    def test_cached_weights_match_definitions(self, mesh):
+        from repro.grid.mesh import PAD
+
+        c = ops.mesh_ops(mesh)
+        le = np.where(
+            mesh.cell_edges >= 0,
+            mesh.le[np.clip(mesh.cell_edges, 0, None)], 0.0,
+        )
+        np.testing.assert_array_equal(c.div_w, mesh.cell_edge_sign * le)
+        np.testing.assert_array_equal(c.cell_edges_pad, mesh.cell_edges == PAD)
+        de = np.where(
+            mesh.vertex_edges >= 0,
+            mesh.de[np.clip(mesh.vertex_edges, 0, None)], 0.0,
+        )
+        np.testing.assert_array_equal(c.curl_w, mesh.vertex_edge_sign * de)
+
+    def test_vertex_to_cell_dtype_preserved(self, mesh):
+        rng = np.random.default_rng(1)
+        v32 = rng.normal(size=(mesh.nv, 3)).astype(np.float32)
+        out = ops.vertex_to_cell(mesh, v32)
+        assert out.dtype == np.float32
+        out64 = ops.vertex_to_cell(mesh, v32.astype(np.float64))
+        np.testing.assert_allclose(out, out64, rtol=1e-5, atol=1e-6)

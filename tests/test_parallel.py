@@ -134,6 +134,197 @@ class TestEdgeCellExchanger:
         with pytest.raises(ValueError):
             ex.register_cell("bad", [np.zeros(3) for _ in locals_])
 
+    def test_inconsistent_dtype_across_ranks_rejected(self, setup):
+        part, subs, locals_ = setup
+        ex = EdgeCellExchanger(locals_)
+        fields = [np.zeros(lm.n_cells) for lm in locals_]
+        fields[1] = fields[1].astype(np.float32)
+        with pytest.raises(ValueError):
+            ex.register_cell("bad", fields)
+
+
+class TestExchangePlans:
+    """The compiled exchange-plan layer: dtype preservation, true byte
+    accounting, and zero per-step recompilation/allocation."""
+
+    def _mixed_fields(self, mesh, locals_, seed=0):
+        """A float64 cell field, a float32 cell field (the MIX dtype of
+        insensitive terms), and a float32 edge field."""
+        rng = np.random.default_rng(seed)
+        g64 = rng.normal(size=(mesh.nc, 3))
+        g32 = rng.normal(size=(mesh.nc, 2)).astype(np.float32)
+        ge32 = rng.normal(size=mesh.ne).astype(np.float32)
+        p64 = [lm.scatter_cell_field(g64) for lm in locals_]
+        p32 = [lm.scatter_cell_field(g32) for lm in locals_]
+        pe32 = [lm.scatter_edge_field(ge32) for lm in locals_]
+        return (g64, g32, ge32), (p64, p32, pe32)
+
+    def test_mixed_dtype_roundtrip(self, mesh, setup):
+        """(a) float32 fields round-trip with dtype AND values intact."""
+        part, subs, locals_ = setup
+        (g64, g32, ge32), (p64, p32, pe32) = self._mixed_fields(mesh, locals_)
+        for lm, a, b, c in zip(locals_, p64, p32, pe32):
+            a[lm.n_owned_cells:] = np.nan
+            b[lm.n_owned_cells:] = np.nan
+            c[lm.n_owned_edges:] = np.nan
+        ex = EdgeCellExchanger(locals_)
+        ex.register_cell("t64", p64)
+        ex.register_cell("q32", p32)
+        ex.register_edge("u32", pe32)
+        ex.exchange()
+        for lm, a, b, c in zip(locals_, p64, p32, pe32):
+            assert a.dtype == np.float64
+            assert b.dtype == np.float32
+            assert c.dtype == np.float32
+            # Bitwise: the wire never leaves the field's own dtype.
+            np.testing.assert_array_equal(a, g64[lm.cells])
+            np.testing.assert_array_equal(b, g32[lm.cells])
+            np.testing.assert_array_equal(c, ge32[lm.edges])
+
+    def test_no_float64_in_payload_path(self, mesh, setup):
+        """Every compiled slot views the wire buffer at the field's own
+        dtype; the buffer itself is raw bytes."""
+        part, subs, locals_ = setup
+        _, (p64, p32, pe32) = self._mixed_fields(mesh, locals_)
+        ex = EdgeCellExchanger(locals_)
+        ex.register_cell("t64", p64)
+        ex.register_cell("q32", p32)
+        ex.register_edge("u32", pe32)
+        dtype_of = {"t64": np.float64, "q32": np.float32, "u32": np.float32}
+        for plan in ex.plans.values():
+            assert plan.send_buffer.dtype == np.uint8
+            for slot in plan.send_slots:
+                assert slot.view.dtype == dtype_of[slot.name]
+            for slot in plan.recv_slots:
+                assert slot.dtype == dtype_of[slot.name]
+
+    def test_true_wire_bytes_mixed(self, mesh, setup):
+        """bytes_sent counts 4 bytes/elem for float32 fields, not 8."""
+        part, subs, locals_ = setup
+        _, (p64, p32, pe32) = self._mixed_fields(mesh, locals_)
+        ex = EdgeCellExchanger(locals_)
+        ex.register_cell("t64", p64)
+        ex.register_cell("q32", p32)
+        ex.register_edge("u32", pe32)
+        expected = 0
+        for lm in locals_:
+            for idx in lm.cell_send.values():
+                expected += idx.size * 3 * 8 + idx.size * 2 * 4
+            for idx in lm.edge_send.values():
+                expected += idx.size * 4
+        ex.comm.stats.reset()
+        ex.exchange()
+        assert ex.comm.stats.bytes_sent == expected
+        assert ex.bytes_per_exchange() == expected
+        # The legacy path upcast everything to float64 on the wire.
+        ex_legacy = EdgeCellExchanger(locals_, use_plans=False)
+        ex_legacy.register_cell("t64", p64)
+        ex_legacy.register_cell("q32", p32)
+        ex_legacy.register_edge("u32", pe32)
+        ex_legacy.comm.stats.reset()
+        ex_legacy.exchange()
+        assert ex_legacy.comm.stats.bytes_sent > expected
+
+    def test_plan_reuse_no_recompile_no_realloc(self, mesh, setup):
+        """(b) the second exchange reuses the compiled plans and wire
+        buffers — no recompilation, no concatenation, no fresh pack
+        allocation — and the aggregation metric is unchanged."""
+        part, subs, locals_ = setup
+        rng = np.random.default_rng(3)
+        pc = [lm.scatter_cell_field(rng.normal(size=(mesh.nc, 4))) for lm in locals_]
+        pe = [lm.scatter_edge_field(rng.normal(size=mesh.ne)) for lm in locals_]
+        ex = EdgeCellExchanger(locals_)
+        ex.register_cell("c", pc)
+        ex.register_edge("e", pe)
+        ex.exchange()
+        assert ex.plan_compilations == 1
+        plans_before = ex._plans
+        buffer_ids = {k: id(p.send_buffer) for k, p in plans_before.items()}
+        view_ids = {
+            (k, s.name): id(s.view)
+            for k, p in plans_before.items() for s in p.send_slots
+        }
+        msgs_per = ex.messages_per_exchange()
+        import unittest.mock as mock
+        with mock.patch.object(
+            np, "concatenate",
+            side_effect=AssertionError("hot path must not concatenate"),
+        ):
+            ex.exchange()
+            ex.exchange()
+        assert ex.plan_compilations == 1
+        assert ex._plans is plans_before
+        assert {k: id(p.send_buffer) for k, p in ex._plans.items()} == buffer_ids
+        assert {
+            (k, s.name): id(s.view)
+            for k, p in ex._plans.items() for s in p.send_slots
+        } == view_ids
+        assert ex.messages_per_exchange() == msgs_per
+        assert ex.comm.stats.messages == 3 * msgs_per
+
+    def test_register_invalidates_plan(self, mesh, setup):
+        part, subs, locals_ = setup
+        rng = np.random.default_rng(4)
+        gc = rng.normal(size=mesh.nc)
+        pc = [lm.scatter_cell_field(gc) for lm in locals_]
+        ex = EdgeCellExchanger(locals_)
+        ex.register_cell("a", pc)
+        ex.exchange()
+        assert ex.plan_compilations == 1
+        g2 = rng.normal(size=(mesh.nc, 2)).astype(np.float32)
+        p2 = [lm.scatter_cell_field(g2) for lm in locals_]
+        for lm, arr in zip(locals_, p2):
+            arr[lm.n_owned_cells:] = np.nan
+        ex.register_cell("b", p2)
+        ex.exchange()
+        assert ex.plan_compilations == 2
+        for lm, arr in zip(locals_, p2):
+            np.testing.assert_array_equal(arr, g2[lm.cells])
+
+    def test_replace_same_layout_keeps_plan(self, mesh, setup):
+        part, subs, locals_ = setup
+        rng = np.random.default_rng(5)
+        pc = [lm.scatter_cell_field(rng.normal(size=mesh.nc)) for lm in locals_]
+        ex = EdgeCellExchanger(locals_)
+        ex.register_cell("a", pc)
+        ex.exchange()
+        g2 = rng.normal(size=mesh.nc)
+        p2 = [lm.scatter_cell_field(g2) for lm in locals_]
+        for lm, arr in zip(locals_, p2):
+            arr[lm.n_owned_cells:] = np.nan
+        ex.replace("a", p2)
+        ex.exchange()
+        assert ex.plan_compilations == 1
+        for lm, arr in zip(locals_, p2):
+            np.testing.assert_array_equal(arr, g2[lm.cells])
+        # A dtype change does force a recompile.
+        p3 = [arr.astype(np.float32) for arr in p2]
+        ex.replace("a", p3)
+        ex.exchange()
+        assert ex.plan_compilations == 2
+
+    def test_legacy_and_plan_paths_agree(self, mesh, setup):
+        part, subs, locals_ = setup
+        rng = np.random.default_rng(6)
+        gc = rng.normal(size=(mesh.nc, 3))
+        ge = rng.normal(size=mesh.ne)
+        results = []
+        for use_plans in (True, False):
+            pc = [lm.scatter_cell_field(gc) for lm in locals_]
+            pe = [lm.scatter_edge_field(ge) for lm in locals_]
+            for lm, a, b in zip(locals_, pc, pe):
+                a[lm.n_owned_cells:] = np.nan
+                b[lm.n_owned_edges:] = np.nan
+            ex = EdgeCellExchanger(locals_, use_plans=use_plans)
+            ex.register_cell("c", pc)
+            ex.register_edge("e", pe)
+            ex.exchange()
+            results.append((pc, pe))
+        for a, b in zip(results[0][0], results[1][0]):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(results[0][1], results[1][1]):
+            np.testing.assert_array_equal(a, b)
+
 
 class TestSerialEquivalence:
     @pytest.mark.parametrize("nparts", [2, 4, 7])
@@ -183,6 +374,25 @@ class TestSerialEquivalence:
         ps, u, theta = dist.gather()
         np.testing.assert_array_equal(ps, s.ps)
         np.testing.assert_array_equal(u, s.u)
+
+    def test_bitwise_across_plan_reuse_checkpoints(self, mesh):
+        """(c) equality holds at successive checkpoints of ONE distributed
+        run — the compiled plans and cached scratch states are reused
+        across all steps without drift."""
+        vc = VerticalCoordinate.uniform(5)
+        st0 = solid_body_rotation_state(mesh, vc)
+        serial = DynamicalCore(mesh, vc, DycoreConfig(dt=600.0))
+        dist = DistributedDycore(mesh, vc, DycoreConfig(dt=600.0), nparts=4)
+        dist.scatter(st0)
+        s = st0.copy()
+        for _ in range(3):
+            s = serial.run(s, 2)
+            dist.run(2)
+            ps, u, theta = dist.gather()
+            np.testing.assert_array_equal(ps, s.ps)
+            np.testing.assert_array_equal(u, s.u)
+            np.testing.assert_array_equal(theta, s.theta)
+        assert dist._exchanger.plan_compilations == 1
 
     def test_requires_scatter_first(self, mesh):
         vc = VerticalCoordinate.uniform(5)
