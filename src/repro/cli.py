@@ -11,7 +11,9 @@ without writing any Python:
 * ``grids``     — print Table 2;
 * ``lint``      — swlint: static offload-plan analysis + sanitizer;
 * ``profile``   — instrumented run: spans, metrics, Chrome trace, and
-  the predicted-vs-traced kernel reconciliation.
+  the predicted-vs-traced kernel reconciliation;
+* ``chaos``     — fault-injected integration under a named plan:
+  survival, recovery accounting, drift vs the fault-free twin.
 """
 
 from __future__ import annotations
@@ -84,7 +86,7 @@ def _cmd_doksuri(args) -> int:
 
     res = resolution_comparison(
         low_level=args.low, high_level=args.high, ref_level=args.ref,
-        nlev=args.nlev, hours=args.hours,
+        nlev=args.nlev, hours=args.hours, seed=args.seed,
     )
     print(f"correlation vs reference: low r={res['corr_low']:.3f}, "
           f"high r={res['corr_high']:.3f}")
@@ -143,7 +145,7 @@ def _cmd_train_ml(args) -> int:
     trained = train_ml_suite(
         mesh, vc, periods=TABLE1_PERIODS[: args.periods],
         hours_per_period=args.hours, epochs=args.epochs,
-        width=args.width, n_resunits=args.resunits,
+        width=args.width, n_resunits=args.resunits, seed=args.seed,
     )
     print(f"trained on {trained.n_train} columns "
           f"({trained.n_train / max(trained.n_test, 1):.1f}:1 split)")
@@ -167,6 +169,29 @@ def _cmd_lint(args) -> int:
     if args.strict and not result["summary"]["strict_ok"]:
         return 1
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    import json
+
+    from repro.obs import Tracer
+    from repro.resilience.chaos import render_report, run_chaos
+
+    tracer = Tracer(enabled=True) if args.trace_out else None
+    report = run_chaos(
+        plan=args.plan, level=args.level, nlev=args.nlev, steps=args.steps,
+        seed=args.seed, checkpoint_every=args.checkpoint_every,
+        include_baseline=not args.no_baseline, tracer=tracer,
+    )
+    if args.trace_out:
+        tracer.write_chrome_trace(args.trace_out)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_report(report))
+        if args.trace_out:
+            print(f"Chrome trace written to {args.trace_out}")
+    return 0 if report["survived"] else 1
 
 
 def _cmd_profile(args) -> int:
@@ -248,6 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--ref", type=int, default=5)
     sp.add_argument("--nlev", type=int, default=8)
     sp.add_argument("--hours", type=float, default=6.0)
+    sp.add_argument("--seed", type=int, default=0)
     sp.set_defaults(func=_cmd_doksuri)
 
     sp = sub.add_parser("scaling", help="Figs. 10/11 + headline SYPD")
@@ -265,6 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--epochs", type=int, default=4)
     sp.add_argument("--width", type=int, default=16)
     sp.add_argument("--resunits", type=int, default=2)
+    sp.add_argument("--seed", type=int, default=0)
     sp.set_defaults(func=_cmd_train_ml)
 
     sp = sub.add_parser(
@@ -278,6 +305,26 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--no-sanitize", action="store_true",
                     help="static analysis only, skip the runtime sanitizer")
     sp.set_defaults(func=_cmd_lint)
+
+    sp = sub.add_parser(
+        "chaos",
+        help="fault-injected integration: survival, recovery counts, and "
+             "drift vs the fault-free twin",
+    )
+    sp.add_argument("--level", type=int, default=3)
+    sp.add_argument("--nlev", type=int, default=8)
+    sp.add_argument("--steps", type=int, default=24)
+    sp.add_argument("--plan", default="smoke",
+                    help="named fault plan (none, smoke, storm)")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--checkpoint-every", type=int, default=6)
+    sp.add_argument("--no-baseline", action="store_true",
+                    help="skip the fault-free twin / drift comparison")
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable JSON instead of the report")
+    sp.add_argument("--trace-out", default=None,
+                    help="write the Chrome trace-event JSON here")
+    sp.set_defaults(func=_cmd_chaos)
 
     sp = sub.add_parser(
         "profile",

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.obs import get_metrics
+from repro.resilience.faults import FaultKind, get_injector
+from repro.resilience.recovery import corrupt_buffer
 
 
 @dataclass
@@ -94,13 +96,52 @@ class Communicator:
         reference instead of a copy — the MPI rendezvous-protocol
         analogue — and the caller promises not to mutate ``buf`` until
         the matching :meth:`recv` has drained it.
+
+        When a fault injector is active the message may be dropped
+        (never delivered — the receiver detects the gap with
+        :meth:`probe` and requests a retransmit), corrupted (a
+        deterministically-flipped *copy* is delivered, so the sender's
+        persistent buffer stays intact and a retransmit carries clean
+        bytes), or delayed (delivered normally; the synchronous recv
+        absorbs the lateness, which is only accounted).
         """
         self._check_rank(src)
         self._check_rank(dst)
         key = (src, dst, tag)
         if key in self._mailbox:
             raise RuntimeError(f"unreceived message already pending for {key}")
-        self._mailbox[key] = np.array(buf, copy=True) if copy else buf
+        payload = np.array(buf, copy=True) if copy else buf
+        injector = get_injector()
+        if injector is not None and injector.active:
+            site = f"{src}->{dst}"
+            ev = injector.fire(FaultKind.MSG_DROP, site=site)
+            if ev is not None:
+                # The network ate it: bytes left the NIC but never land.
+                self.stats.record(src, dst, payload.nbytes)
+                metrics = get_metrics()
+                if metrics.enabled:
+                    metrics.inc("comm.dropped")
+                return
+            ev = injector.fire(FaultKind.MSG_CORRUPT, site=site)
+            if ev is not None:
+                corrupted = np.array(payload, copy=True)
+                corrupt_buffer(
+                    corrupted, ev.payload_seed,
+                    int(ev.params.get("corrupt_bytes", 8)),
+                )
+                payload = corrupted
+                metrics = get_metrics()
+                if metrics.enabled:
+                    metrics.inc("comm.corrupted")
+            ev = injector.fire(FaultKind.MSG_DELAY, site=site)
+            if ev is not None:
+                delay = float(ev.params.get("delay_seconds", 0.0))
+                metrics = get_metrics()
+                if metrics.enabled:
+                    metrics.inc("comm.delayed")
+                    metrics.observe("comm.delay_seconds", delay)
+                injector.recover(FaultKind.MSG_DELAY, "delay_tolerated", site=site)
+        self._mailbox[key] = payload
         self.stats.record(src, dst, self._mailbox[key].nbytes)
 
     def recv(self, src: int, dst: int, tag: int = 0) -> np.ndarray:
@@ -109,6 +150,12 @@ class Communicator:
         if key not in self._mailbox:
             raise RuntimeError(f"recv before matching send: {key}")
         return self._mailbox.pop(key)
+
+    def probe(self, src: int, dst: int, tag: int = 0) -> bool:
+        """Is a message from ``src`` to ``dst`` deliverable right now?
+        (``False`` after a dropped send — the receiver's cue to request
+        a retransmit.)"""
+        return (src, dst, tag) in self._mailbox
 
     def pending(self) -> int:
         """Number of posted-but-unreceived messages (0 after a clean step)."""

@@ -196,15 +196,16 @@ def resolution_comparison(
     ref_level: int = 5,
     nlev: int = 10,
     hours: float = 8.0,
+    seed: int = 0,
 ) -> dict:
     """The Fig. 7 experiment: correlation vs the reference, per resolution.
 
     Returns correlations of the low/high-resolution rain fields against
     the reference ("CMPA") field, all compared on the low-res mesh.
     """
-    low = run_doksuri_case(low_level, nlev, hours)
-    high = run_doksuri_case(high_level, nlev, hours)
-    ref = run_doksuri_case(ref_level, nlev, hours)
+    low = run_doksuri_case(low_level, nlev, hours, seed=seed)
+    high = run_doksuri_case(high_level, nlev, hours, seed=seed)
+    ref = run_doksuri_case(ref_level, nlev, hours, seed=seed)
 
     rain_high_on_low = regrid_to(low.mesh, high.mesh, high.mean_rain)
     rain_ref_on_low = regrid_to(low.mesh, ref.mesh, ref.mean_rain)

@@ -40,6 +40,11 @@ class TendencyEnsemble:
         #: Predictions are damped where the member spread exceeds this
         #: multiple of the ensemble's mean spread (extrapolation guard).
         self.spread_threshold = spread_threshold
+        #: Worst spread-to-signal ratio of the last :meth:`predict` call
+        #: (0.0 until then, and always 0.0 for a single member).  The
+        #: resilience layer's ML guard reads this to decide when member
+        #: disagreement warrants falling back to conventional physics.
+        self.last_max_spread_ratio = 0.0
 
     @property
     def n_members(self) -> int:
@@ -87,9 +92,11 @@ class TendencyEnsemble:
         """
         mean, spread = self.predict_with_spread(x)
         if self.n_members == 1:
+            self.last_max_spread_ratio = 0.0
             return mean
         signal = np.abs(mean) + 1e-12
         ratio = spread / signal
+        self.last_max_spread_ratio = float(ratio.max()) if ratio.size else 0.0
         damp = np.clip(self.spread_threshold / np.maximum(ratio, 1e-12), 0.0, 1.0)
         return mean * damp
 

@@ -23,6 +23,7 @@ from repro.constants import CP_DRY, GRAVITY, LATENT_HEAT_VAP
 from repro.ml.radiation_net import RadiationMLP
 from repro.ml.tendency_net import TendencyCNN
 from repro.model.coupler import CouplingFields
+from repro.obs import get_metrics
 from repro.physics.column import PhysicsTendencies
 from repro.physics.surface import SurfaceModel
 
@@ -63,6 +64,13 @@ class MLPhysicsSuite:
         q1, q2 = self.tendency_net.predict_q1q2(
             fields.u, fields.v, fields.t, fields.q, fields.p
         )
+        # Ensemble nets report their member disagreement; surface it in
+        # the metrics so the resilience guard's decisions are auditable.
+        spread = getattr(self.tendency_net, "last_max_spread_ratio", None)
+        if spread is not None:
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.observe("ml.max_spread_ratio", float(spread))
         cap = cfg.tendency_cap_k_per_day / 86400.0
         q1 = np.clip(q1, -cap, cap)
         q2 = np.clip(q2, -cap, cap)

@@ -60,6 +60,7 @@ class GristModel:
         nonhydrostatic: bool = False,
         day_of_year: float = 200.0,
         dycore_kwargs: dict | None = None,
+        validate_state: bool = False,
     ):
         self.mesh = mesh
         self.vcoord = vcoord
@@ -104,6 +105,12 @@ class GristModel:
         self.physics = physics_suite
         self.history = RunHistory()
         self._dyn_steps = 0
+        #: When set, every dynamics step is checked for non-finite
+        #: prognostics and a :class:`~repro.resilience.recovery.StepFailure`
+        #: raised on the first blow-up — the trigger for the chaos
+        #: harness's checkpoint/rollback ladder.  Off by default: the
+        #: check costs a reduction over the state per step.
+        self.validate_state = validate_state
 
     def step_physics(self, state: ModelState) -> None:
         """One physics step: extract -> suite -> apply (section 3.2.4)."""
@@ -142,7 +149,19 @@ class GristModel:
             self._dyn_steps += 1
             if self._dyn_steps % pr == 0:
                 self.step_physics(state)
+            if self.validate_state:
+                self._validate(state)
         return state
+
+    def _validate(self, state: ModelState) -> None:
+        from repro.resilience.recovery import StepFailure, state_is_finite
+
+        if not state_is_finite(state):
+            get_metrics().inc("model.invalid_states")
+            raise StepFailure(
+                f"non-finite prognostics after dynamics step "
+                f"{self._dyn_steps}"
+            )
 
     def run_hours(self, state: ModelState, hours: float) -> ModelState:
         n = int(round(hours * 3600.0 / self.grid_config.dt_dyn))

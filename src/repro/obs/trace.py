@@ -53,6 +53,10 @@ class SpanKind(Enum):
     SPONGE = "sponge"
     TRACER_STEP = "tracer_step"
     PHYSICS_STEP = "physics_step"
+    # resilience (fault injection & recovery ladder)
+    FAULT = "fault"
+    RECOVERY = "recovery"
+    CHECKPOINT = "checkpoint"
     # misc
     INSTANT = "instant"
 
@@ -73,6 +77,9 @@ _CATEGORY = {
     SpanKind.SPONGE: "model",
     SpanKind.TRACER_STEP: "model",
     SpanKind.PHYSICS_STEP: "model",
+    SpanKind.FAULT: "resilience",
+    SpanKind.RECOVERY: "resilience",
+    SpanKind.CHECKPOINT: "resilience",
     SpanKind.INSTANT: "misc",
 }
 

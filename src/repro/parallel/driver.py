@@ -26,6 +26,7 @@ from repro.parallel.localmesh import LocalMesh, build_local_meshes
 from repro.partition.decomposition import decompose
 from repro.partition.graph import mesh_cell_graph
 from repro.partition.metis import partition_graph
+from repro.resilience.recovery import RetryPolicy
 
 
 @dataclass
@@ -54,11 +55,15 @@ class DistributedDycore:
         config: DycoreConfig,
         nparts: int,
         seed: int = 0,
+        retry: RetryPolicy | None = None,
     ):
         self.mesh = mesh
         self.vcoord = vcoord
         self.config = config
         self.nparts = nparts
+        #: Retransmission policy handed to the halo exchanger (only
+        #: consulted when a fault injector is active).
+        self.retry = retry or RetryPolicy()
         part = partition_graph(mesh_cell_graph(mesh), nparts, seed=seed)
         subs = decompose(mesh, nparts, part=part)
         self.locals: list[LocalMesh] = build_local_meshes(mesh, subs, part)
@@ -83,7 +88,7 @@ class DistributedDycore:
             )
             for lm in self.locals
         ]
-        ex = EdgeCellExchanger(self.locals, self.comm)
+        ex = EdgeCellExchanger(self.locals, self.comm, retry=self.retry)
         ex.register_cell("ps", [s.ps for s in self._states])
         ex.register_cell("theta", [s.theta for s in self._states])
         ex.register_edge("u", [s.u for s in self._states])

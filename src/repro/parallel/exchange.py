@@ -34,8 +34,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.comm.message import Communicator
-from repro.obs import SpanKind, get_tracer
+from repro.obs import SpanKind, get_metrics, get_tracer
 from repro.parallel.localmesh import LocalMesh
+from repro.resilience.faults import FaultKind, get_injector
+from repro.resilience.recovery import RetryExhausted, RetryPolicy, payload_crc
 
 
 @dataclass
@@ -106,10 +108,21 @@ class EdgeCellExchanger:
         locals_: list[LocalMesh],
         comm: Communicator | None = None,
         use_plans: bool = True,
+        retry: RetryPolicy | None = None,
     ):
         self.locals = locals_
         self.comm = comm or Communicator(len(locals_))
         self.use_plans = use_plans
+        #: Retransmission policy when a fault injector is active: lost
+        #: or CRC-failed payloads are re-sent from the (persistent,
+        #: still-packed) plan buffer up to ``retry.max_attempts`` times.
+        self.retry = retry or RetryPolicy()
+        #: CRC32 of every pair's last-packed wire buffer, kept only
+        #: while an injector is active (the integrity side channel an
+        #: MPI implementation carries in its envelope).
+        self._send_crcs: dict[tuple[int, int], int] = {}
+        self.crc_failures = 0
+        self.retransmits = 0
         # name -> ("cell"|"edge", [per-rank arrays])
         self._registry: dict[str, tuple[str, list[np.ndarray]]] = {}
         self._plans: dict[tuple[int, int], ExchangePlan] | None = None
@@ -278,6 +291,8 @@ class EdgeCellExchanger:
         registry = self._registry
         plans = self._plans
         tracer = get_tracer()
+        injector = get_injector()
+        verify = injector is not None and injector.active
         n_vars = len(registry)
         msgs0, bytes0 = self.comm.stats.messages, self.comm.stats.bytes_sent
         with tracer.span(
@@ -292,6 +307,10 @@ class EdgeCellExchanger:
                                 registry[slot.name][1][rank], slot.idx,
                                 axis=0, out=slot.view,
                             )
+                        if verify:
+                            self._send_crcs[(rank, plan.neighbor)] = payload_crc(
+                                plan.send_buffer
+                            )
                         # Zero-copy handoff: the per-pair wire buffer is
                         # not repacked until after the matching recv of
                         # this same exchange has drained it.
@@ -305,7 +324,10 @@ class EdgeCellExchanger:
             ):
                 for rank, plan_list in enumerate(self._rank_plans):
                     for plan in plan_list:
-                        payload = self.comm.recv(plan.neighbor, rank, tag=7)
+                        if verify:
+                            payload = self._recv_verified(plan, injector)
+                        else:
+                            payload = self.comm.recv(plan.neighbor, rank, tag=7)
                         if payload is plan.peer_buffer:
                             # Fast path: payload is the neighbour's
                             # persistent buffer; the views were compiled
@@ -326,6 +348,51 @@ class EdgeCellExchanger:
                 messages=self.comm.stats.messages - msgs0,
                 bytes=self.comm.stats.bytes_sent - bytes0,
             )
+
+    def _recv_verified(self, plan: ExchangePlan, injector) -> np.ndarray:
+        """Receive ``plan``'s payload under the retransmit ladder.
+
+        A dropped message shows up as a probe miss; a corrupted one as a
+        CRC mismatch against the sender-side checksum recorded at pack
+        time.  Either way the fix is the same: re-send the neighbour's
+        persistent (still-packed) wire buffer and try again, up to
+        ``retry.max_attempts`` receives.  A validated receive drains the
+        pending drop/corrupt events for this pair.
+        """
+        src, dst = plan.neighbor, plan.rank
+        site = f"{src}->{dst}"
+        expected = self._send_crcs.get((src, dst))
+        peer = self._plans[(src, dst)]
+        metrics = get_metrics()
+
+        def retransmit() -> None:
+            self.retransmits += 1
+            if metrics.enabled:
+                metrics.inc("exchange.retransmits")
+            self.comm.send(src, dst, peer.send_buffer, tag=7, copy=False)
+
+        for _ in range(self.retry.max_attempts):
+            if not self.comm.probe(src, dst, tag=7):
+                retransmit()
+                continue
+            payload = self.comm.recv(src, dst, tag=7)
+            if expected is not None and payload_crc(payload) != expected:
+                self.crc_failures += 1
+                if metrics.enabled:
+                    metrics.inc("exchange.crc_failures")
+                retransmit()
+                continue
+            injector.drain(
+                (FaultKind.MSG_DROP, FaultKind.MSG_CORRUPT),
+                "retransmit", site=site,
+            )
+            return payload
+        raise RetryExhausted(
+            f"halo payload {site} failed verification after "
+            f"{self.retry.max_attempts} attempts "
+            f"({self.crc_failures} CRC failures, {self.retransmits} "
+            "retransmits this run)"
+        )
 
     def _exchange_legacy(self) -> None:
         """The pre-plan path: per-step neighbour discovery, fancy-index

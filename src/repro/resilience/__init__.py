@@ -1,0 +1,63 @@
+"""``repro.resilience``: fault injection and recovery for the substrate.
+
+Two halves:
+
+* :mod:`repro.resilience.faults` — a deterministic, seeded
+  :class:`FaultInjector` driven by a named :class:`FaultPlan`; the
+  substrate layers (SWGOMP job server, omnicopy/DMA, communicator,
+  exchange plans, physics guard) consult it at their fault sites.
+* :mod:`repro.resilience.recovery` — the recovery ladder: bounded
+  retry with backoff, CRC-verified retransmission, graceful ML→
+  conventional physics degradation, checkpoint/rollback.
+
+The chaos harness (:mod:`repro.resilience.chaos`, behind the ``repro
+chaos`` CLI) is imported on demand — it pulls in the whole model stack,
+while this package root stays import-light so the substrate modules can
+depend on it without cycles.
+
+With no injector installed (the default), every hook is one ``is
+None`` check and model results are bitwise identical to a build without
+this package.
+"""
+
+from repro.resilience.faults import (
+    NAMED_PLANS,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    get_injector,
+    injecting,
+    set_injector,
+)
+from repro.resilience.recovery import (
+    CheckpointStore,
+    ResilientPhysics,
+    RetryExhausted,
+    RetryPolicy,
+    StepFailure,
+    corrupt_buffer,
+    payload_crc,
+    state_is_finite,
+)
+
+__all__ = [
+    "NAMED_PLANS",
+    "CheckpointStore",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "ResilientPhysics",
+    "RetryExhausted",
+    "RetryPolicy",
+    "StepFailure",
+    "corrupt_buffer",
+    "get_injector",
+    "injecting",
+    "payload_crc",
+    "set_injector",
+    "state_is_finite",
+]

@@ -1,0 +1,315 @@
+"""Deterministic fault injection for the simulated substrate.
+
+The paper's headline claim — year-scale simulation on 34 million cores —
+implies surviving the fault rates that scale brings: straggler CPEs,
+DMA transfer errors, dropped or corrupted halo messages, and the known
+blow-up instability of ML physics over long integrations (mitigated in
+the paper, as in Han et al. 2023, by an ensemble scheme).  This module
+is the *injection* half of the resilience layer: a seeded
+:class:`FaultInjector` that the substrate layers (the SWGOMP job
+server, omnicopy/DMA, the communicator, the ML physics guard) consult
+at each fault *site*; :mod:`repro.resilience.recovery` holds the
+recovery ladder layered on top.
+
+Design contract
+---------------
+* **Deterministic.** Every fault decision comes from per-kind RNG
+  streams derived from ``(seed, crc32(kind))`` plus per-kind occurrence
+  counters, so two runs with the same plan, seed and call sequence
+  inject byte-identical fault sequences.  Schedule-based specs
+  (``at=(3,)``) consume no randomness at all.
+* **Zero-fault bitwise identity.** With no injector installed (the
+  default) the hooks are a single ``is None`` check; with an installed
+  injector whose plan has no spec for a kind, :meth:`FaultInjector.fire`
+  returns ``None`` before touching any RNG.  Either way, model results
+  are bitwise identical to an uninstrumented run.
+* **Every fault is accounted.** Fired events land in ``fault.*``
+  counters and FAULT spans; the recovery sites mark them recovered
+  (``recovery.*`` counters, RECOVERY spans).  A surviving chaos run
+  must end with zero unrecovered events.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.obs import SpanKind, get_metrics, get_tracer
+
+
+class FaultKind(Enum):
+    """The fault classes of the simulated machine's fault model."""
+
+    STRAGGLER = "straggler"        # a CPE chunk runs k-times slower
+    CPE_FAIL = "cpe_fail"          # a CPE chunk dies and must re-execute
+    DMA_ERROR = "dma_error"        # a main<->LDM DMA transfer fails once
+    MSG_DROP = "msg_drop"          # a point-to-point message is lost
+    MSG_CORRUPT = "msg_corrupt"    # payload bytes flipped in flight
+    MSG_DELAY = "msg_delay"        # delivery late (absorbed by sync recv)
+    ML_BLOWUP = "ml_blowup"        # ML physics returns non-finite tendency
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """When one fault kind fires.
+
+    ``at`` lists explicit 0-based occurrence indices that always fire
+    (fully schedule-driven, RNG-free); ``rate`` adds a per-opportunity
+    Bernoulli draw on top.  ``max_events`` caps total fired events.
+    """
+
+    kind: FaultKind
+    rate: float = 0.0
+    at: tuple = ()
+    max_events: int | None = None
+    # kind-specific parameters, carried onto fired events:
+    straggler_factor: float = 8.0      # slowdown of a straggler chunk
+    delay_seconds: float = 5.0e-4      # lateness of a delayed message
+    corrupt_bytes: int = 8             # payload bytes flipped
+
+    def params(self) -> dict:
+        return {
+            "straggler_factor": self.straggler_factor,
+            "delay_seconds": self.delay_seconds,
+            "corrupt_bytes": self.corrupt_bytes,
+        }
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault (identity is (kind, occurrence))."""
+
+    kind: FaultKind
+    site: str
+    occurrence: int
+    payload_seed: int          # seeds kind-specific corruption patterns
+    params: dict = field(default_factory=dict)
+
+    def key(self) -> tuple:
+        return (self.kind.value, self.site, self.occurrence)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, immutable set of fault specs (at most one per kind)."""
+
+    name: str
+    specs: tuple = ()
+
+    @property
+    def empty(self) -> bool:
+        return not self.specs
+
+    def spec(self, kind: FaultKind) -> FaultSpec | None:
+        for s in self.specs:
+            if s.kind == kind:
+                return s
+        return None
+
+    @staticmethod
+    def named(name: str) -> "FaultPlan":
+        try:
+            return NAMED_PLANS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown fault plan {name!r}; known plans: "
+                f"{sorted(NAMED_PLANS)}"
+            ) from None
+
+
+#: Built-in plans.  ``smoke`` fires exactly one of every fault class at
+#: fixed early occurrences — the deterministic CI plan; ``storm`` adds
+#: rate-driven background faults for soak-style chaos runs.
+NAMED_PLANS: dict[str, FaultPlan] = {
+    "none": FaultPlan("none"),
+    "smoke": FaultPlan(
+        "smoke",
+        (
+            FaultSpec(FaultKind.STRAGGLER, at=(5,), max_events=1),
+            FaultSpec(FaultKind.CPE_FAIL, at=(11,), max_events=1),
+            FaultSpec(FaultKind.DMA_ERROR, at=(0,), max_events=1),
+            FaultSpec(FaultKind.MSG_DROP, at=(2,), max_events=1),
+            FaultSpec(FaultKind.MSG_CORRUPT, at=(4,), max_events=1),
+            FaultSpec(FaultKind.MSG_DELAY, at=(1,), max_events=1),
+            FaultSpec(FaultKind.ML_BLOWUP, at=(0,), max_events=1),
+        ),
+    ),
+    "storm": FaultPlan(
+        "storm",
+        (
+            FaultSpec(FaultKind.STRAGGLER, rate=0.01, max_events=64),
+            FaultSpec(FaultKind.CPE_FAIL, rate=0.002, max_events=32),
+            FaultSpec(FaultKind.DMA_ERROR, rate=0.25, max_events=32),
+            FaultSpec(FaultKind.MSG_DROP, rate=0.03, max_events=32),
+            FaultSpec(FaultKind.MSG_CORRUPT, rate=0.02, max_events=32),
+            FaultSpec(FaultKind.MSG_DELAY, rate=0.05, max_events=64),
+            FaultSpec(FaultKind.ML_BLOWUP, rate=0.3, max_events=8),
+        ),
+    ),
+}
+
+
+def _kind_stream_seed(seed: int, kind: FaultKind) -> list:
+    # zlib.crc32 is stable across processes (unlike hash(str), which is
+    # salted), so per-kind streams replay identically between runs.
+    return [seed, zlib.crc32(kind.value.encode())]
+
+
+class FaultInjector:
+    """Seeded fault oracle consulted by the substrate's fault sites.
+
+    One injector serves a whole run; call sites query
+    :meth:`fire` with their kind and a site label, and the recovery
+    sites report back through :meth:`recover`.
+    """
+
+    def __init__(self, plan: FaultPlan, seed: int = 0):
+        self.plan = plan
+        self.seed = seed
+        self._specs: dict[FaultKind, FaultSpec] = {s.kind: s for s in plan.specs}
+        self._streams = {
+            kind: np.random.default_rng(_kind_stream_seed(seed, kind))
+            for kind in self._specs
+        }
+        self._occurrences: dict[FaultKind, int] = dict.fromkeys(self._specs, 0)
+        self._fired_counts: dict[FaultKind, int] = dict.fromkeys(self._specs, 0)
+        self.events: list[FaultEvent] = []
+        self.recoveries: list[tuple] = []          # (event, action)
+        self._pending: dict[FaultKind, list[FaultEvent]] = {}
+
+    @property
+    def active(self) -> bool:
+        """False for an empty plan — call sites then skip all work."""
+        return bool(self._specs)
+
+    # -- injection -------------------------------------------------------
+    def fire(self, kind: FaultKind, site: str = "") -> FaultEvent | None:
+        """One fault opportunity at ``site``; returns the event if it fires."""
+        spec = self._specs.get(kind)
+        if spec is None:
+            return None
+        if spec.max_events is not None and self._fired_counts[kind] >= spec.max_events:
+            return None
+        occ = self._occurrences[kind]
+        self._occurrences[kind] = occ + 1
+        fires = occ in spec.at
+        if not fires and spec.rate > 0.0:
+            fires = float(self._streams[kind].random()) < spec.rate
+        if not fires:
+            return None
+        ev = FaultEvent(
+            kind=kind,
+            site=site,
+            occurrence=occ,
+            payload_seed=int(self._streams[kind].integers(2**31)),
+            params=spec.params(),
+        )
+        self._fired_counts[kind] += 1
+        self.events.append(ev)
+        self._pending.setdefault(kind, []).append(ev)
+        get_metrics().inc(f"fault.{kind.value}")
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                f"fault.{kind.value}", SpanKind.FAULT,
+                site=site, occurrence=occ,
+            )
+        return ev
+
+    # -- recovery accounting ---------------------------------------------
+    def recover(self, kind: FaultKind, action: str, site: str | None = None) -> FaultEvent | None:
+        """Mark the oldest pending event of ``kind`` (preferring a site
+        match) as recovered by ``action``; returns it, or ``None`` if
+        nothing was pending (recovery sites may probe unconditionally)."""
+        pending = self._pending.get(kind)
+        if not pending:
+            return None
+        idx = 0
+        if site is not None:
+            for i, ev in enumerate(pending):
+                if ev.site == site:
+                    idx = i
+                    break
+        ev = pending.pop(idx)
+        self.recoveries.append((ev, action))
+        get_metrics().inc(f"recovery.{action}")
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                f"recovery.{action}", SpanKind.RECOVERY,
+                fault=ev.kind.value, site=ev.site, occurrence=ev.occurrence,
+            )
+        return ev
+
+    def drain(self, kinds: tuple, action: str, site: str) -> int:
+        """Recover every pending event of the given kinds at ``site``
+        (a successful validated receive clears all its retransmits)."""
+        n = 0
+        for kind in kinds:
+            while any(ev.site == site for ev in self._pending.get(kind, ())):
+                self.recover(kind, action, site=site)
+                n += 1
+        return n
+
+    # -- reporting -------------------------------------------------------
+    def unrecovered(self) -> list[FaultEvent]:
+        return [ev for evs in self._pending.values() for ev in evs]
+
+    def summary(self) -> dict:
+        fired: dict[str, int] = {}
+        for ev in self.events:
+            fired[ev.kind.value] = fired.get(ev.kind.value, 0) + 1
+        recovered: dict[str, int] = {}
+        for _, action in self.recoveries:
+            recovered[action] = recovered.get(action, 0) + 1
+        return {
+            "plan": self.plan.name,
+            "seed": self.seed,
+            "fired": dict(sorted(fired.items())),
+            "recovered_by_action": dict(sorted(recovered.items())),
+            "n_fired": len(self.events),
+            "n_recovered": len(self.recoveries),
+            "n_unrecovered": len(self.unrecovered()),
+            "events": [ev.key() for ev in self.events],
+        }
+
+
+#: Process-wide injector; ``None`` (the default) keeps every fault site
+#: on its zero-overhead path.
+_GLOBAL_INJECTOR: FaultInjector | None = None
+
+
+def get_injector() -> FaultInjector | None:
+    """The active global injector, or ``None`` when faults are off."""
+    return _GLOBAL_INJECTOR
+
+
+def set_injector(injector: FaultInjector | None) -> FaultInjector | None:
+    """Install ``injector`` globally; returns the previous one."""
+    global _GLOBAL_INJECTOR
+    prev = _GLOBAL_INJECTOR
+    _GLOBAL_INJECTOR = injector
+    return prev
+
+
+class injecting:
+    """Context manager installing a seeded injector for a plan.
+
+    >>> with injecting(FaultPlan.named("smoke"), seed=7) as inj:
+    ...     model.run(state, n)
+    >>> assert not inj.unrecovered()
+    """
+
+    def __init__(self, plan: FaultPlan, seed: int = 0):
+        self.injector = FaultInjector(plan, seed=seed)
+        self._prev: FaultInjector | None = None
+
+    def __enter__(self) -> FaultInjector:
+        self._prev = set_injector(self.injector)
+        return self.injector
+
+    def __exit__(self, *exc) -> None:
+        set_injector(self._prev)

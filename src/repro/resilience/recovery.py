@@ -1,0 +1,239 @@
+"""The recovery ladder layered over the fault injector.
+
+Four rungs, cheapest first — mirroring how an exascale run actually
+stays alive:
+
+1. **Retry with backoff** (:class:`RetryPolicy`) — failed CPE chunks
+   re-execute, DMA transfers re-issue, dropped/corrupted halo messages
+   retransmit from the sender's persistent plan buffer.  Payload
+   integrity is checked with a CRC32 over the wire buffer
+   (:func:`payload_crc`).
+2. **Graceful degradation** (:class:`ResilientPhysics`) — when the ML
+   physics returns non-finite tendencies, or the tendency ensemble's
+   member spread exceeds its trust threshold, the step falls back to
+   the conventional column suite (the paper's coexistence of both
+   suites is exactly what makes this ladder possible).
+3. **Checkpoint/rollback** (:class:`CheckpointStore`) — periodic model
+   snapshots; an unrecoverable step failure (:class:`StepFailure`)
+   rolls back and re-integrates.
+4. **Abort** (:class:`RetryExhausted`) — bounded retries keep a truly
+   broken substrate from spinning forever.
+
+Everything here is deterministic: retries re-execute the same pure
+computation, retransmits resend the same bytes, and rollback restores
+bit-exact state, so a faulted run is reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.obs import SpanKind, get_metrics, get_tracer
+from repro.resilience.faults import FaultKind, get_injector
+
+
+class StepFailure(RuntimeError):
+    """A model step produced an unusable state (non-finite fields, or a
+    physics failure with no fallback) — recoverable only by rollback."""
+
+
+class RetryExhausted(RuntimeError):
+    """A retry loop hit its attempt bound without succeeding."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff (simulated seconds)."""
+
+    max_attempts: int = 4
+    backoff_seconds: float = 1.0e-4
+    backoff_factor: float = 2.0
+
+    def backoff(self, attempt: int) -> float:
+        """Simulated wait before retry ``attempt`` (1-based)."""
+        return self.backoff_seconds * self.backoff_factor ** max(attempt - 1, 0)
+
+
+def payload_crc(buf: np.ndarray) -> int:
+    """CRC32 of a wire buffer (the exchange plans' integrity check)."""
+    return zlib.crc32(np.ascontiguousarray(buf).view(np.uint8))
+
+
+def corrupt_buffer(buf: np.ndarray, payload_seed: int, n_bytes: int) -> None:
+    """Flip ``n_bytes`` deterministically chosen bytes of ``buf`` in place
+    (the injector's model of an in-flight corruption)."""
+    flat = buf.reshape(-1).view(np.uint8)
+    if flat.size == 0:
+        return
+    rng = np.random.default_rng(payload_seed)
+    pos = rng.integers(0, flat.size, size=min(n_bytes, flat.size))
+    flat[pos] ^= 0xFF
+
+
+def state_is_finite(state) -> bool:
+    """All prognostic fields of a :class:`ModelState` are finite."""
+    arrays = [state.ps, state.u, state.theta, state.w, state.phi]
+    arrays.extend(state.tracers.values())
+    return all(np.isfinite(a).all() for a in arrays)
+
+
+class CheckpointStore:
+    """Rolling in-memory checkpoints for rollback-on-failure.
+
+    Payloads are opaque (the chaos harness snapshots the model state
+    plus every mutable side store: surface slab temperature, run
+    history lengths, the step counter).  ``keep`` bounds memory the way
+    a real run bounds checkpoint storage.
+    """
+
+    def __init__(self, keep: int = 3):
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.keep = keep
+        self._checkpoints: list[tuple[int, dict]] = []
+        self.saves = 0
+        self.restores = 0
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    def save(self, step: int, payload: dict) -> None:
+        self._checkpoints.append((step, payload))
+        del self._checkpoints[: -self.keep]
+        self.saves += 1
+        get_metrics().inc("resilience.checkpoints")
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant("resilience.checkpoint", SpanKind.CHECKPOINT, step=step)
+
+    def latest(self) -> tuple[int, dict]:
+        if not self._checkpoints:
+            raise StepFailure("rollback requested but no checkpoint exists")
+        self.restores += 1
+        get_metrics().inc("recovery.rollback")
+        step, payload = self._checkpoints[-1]
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "recovery.rollback", SpanKind.RECOVERY, step=step,
+            )
+        return step, payload
+
+
+def _tendencies_finite(tend) -> bool:
+    return bool(
+        np.isfinite(tend.dtheta).all()
+        and np.isfinite(tend.dqv).all()
+        and np.isfinite(tend.gsw).all()
+        and np.isfinite(tend.glw).all()
+    )
+
+
+class ResilientPhysics:
+    """Physics suite wrapper implementing graceful degradation.
+
+    Wraps a primary suite (usually the ML suite) and an optional
+    conventional fallback.  A step degrades to the fallback when:
+
+    * the primary's tendencies go non-finite (including an injected
+      ``ML_BLOWUP`` fault), or
+    * the primary's tendency ensemble reports a member spread-to-signal
+      ratio above ``spread_threshold`` (ensemble disagreement = the
+      extrapolation regime Han et al. 2023 identify as the blow-up
+      precursor).
+
+    Because the conventional suite mutates the surface slab, the
+    wrapper snapshots that mutable state before the primary runs and
+    restores it before the fallback, so a degraded step is exactly the
+    step the fallback suite alone would have taken.
+    """
+
+    def __init__(
+        self,
+        primary,
+        fallback=None,
+        surface=None,
+        spread_threshold: float = 10.0,
+    ):
+        self.primary = primary
+        self.fallback = fallback
+        self.surface = surface
+        self.spread_threshold = spread_threshold
+        self.fallbacks = 0
+
+    @staticmethod
+    def _call(suite, state, fields):
+        if hasattr(suite, "compute_from_coupler"):
+            return suite.compute_from_coupler(state, fields)
+        return suite.compute(state, fields.wind_speed_sfc)
+
+    def _surface_snapshot(self):
+        if self.surface is None:
+            return None
+        return (self.surface.t_land.copy(), len(self.surface.history))
+
+    def _surface_restore(self, snap) -> None:
+        if snap is None:
+            return
+        t_land, n_hist = snap
+        self.surface.t_land[:] = t_land
+        del self.surface.history[n_hist:]
+
+    def compute_from_coupler(self, state, fields):
+        snap = self._surface_snapshot()
+        tend = self._call(self.primary, state, fields)
+
+        injector = get_injector()
+        blowup = None
+        if injector is not None:
+            blowup = injector.fire(FaultKind.ML_BLOWUP, site="physics")
+            if blowup is not None:
+                poisoned = tend.dtheta.copy()
+                poisoned[: max(1, poisoned.shape[0] // 16)] = np.nan
+                tend = replace(tend, dtheta=poisoned)
+
+        spread = getattr(
+            getattr(self.primary, "tendency_net", None),
+            "last_max_spread_ratio", 0.0,
+        ) or 0.0
+        healthy = _tendencies_finite(tend) and spread <= self.spread_threshold
+        if healthy:
+            return tend
+
+        if self.fallback is None:
+            raise StepFailure(
+                "physics produced unusable tendencies "
+                f"(finite={_tendencies_finite(tend)}, spread={spread:.2f}) "
+                "and no fallback suite is configured"
+            )
+        self._surface_restore(snap)
+        if hasattr(self.primary, "_cached_rad") and hasattr(
+            self.fallback, "_cached_rad"
+        ):
+            # Mirror the primary's radiation cadence (its compute already
+            # advanced _step by one): the fallback then refreshes or
+            # reuses the cached radiation exactly when the primary did,
+            # so a conventional-primary degraded step is bit-identical
+            # to the clean step.
+            self.fallback._cached_rad = self.primary._cached_rad
+            self.fallback._step = self.primary._step - 1
+        tend = self._call(self.fallback, state, fields)
+        self.fallbacks += 1
+        if injector is not None and blowup is not None:
+            # recover() publishes the recovery.physics_fallback counter
+            # and RECOVERY span itself.
+            injector.recover(FaultKind.ML_BLOWUP, "physics_fallback", site="physics")
+        else:
+            get_metrics().inc("recovery.physics_fallback")
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.instant(
+                    "recovery.physics_fallback", SpanKind.RECOVERY,
+                    spread=spread,
+                )
+        if not _tendencies_finite(tend):
+            raise StepFailure("fallback physics also produced non-finite tendencies")
+        return tend

@@ -21,7 +21,12 @@ from enum import Enum
 import numpy as np
 
 from repro.obs import SpanKind, get_metrics, get_tracer
+from repro.resilience.faults import FaultKind, get_injector
+from repro.resilience.recovery import RetryPolicy
 from repro.sunway.arch import CPESpec
+
+#: Re-issue policy for failed DMA transfers (simulated time only).
+DMA_RETRY = RetryPolicy(max_attempts=3)
 
 
 class MemorySpace(Enum):
@@ -65,7 +70,18 @@ def omnicopy(
             )
     np.copyto(dst, src)
     if crossing:
-        rec = CopyRecord(nbytes=nbytes, engine="dma", seconds=nbytes / cpe.dma_peak)
+        seconds = nbytes / cpe.dma_peak
+        injector = get_injector()
+        if injector is not None:
+            ev = injector.fire(FaultKind.DMA_ERROR, site=f"{src_space.value}->{dst_space.value}")
+            if ev is not None:
+                # The DMA engine re-issues the transfer: one wasted
+                # transfer plus a backoff, after which the (re-executed)
+                # copy lands the same bytes — only the clock moves.
+                seconds += seconds + DMA_RETRY.backoff(1)
+                get_metrics().inc("dma.retries")
+                injector.recover(FaultKind.DMA_ERROR, "dma_retry", site=ev.site)
+        rec = CopyRecord(nbytes=nbytes, engine="dma", seconds=seconds)
     else:
         rec = CopyRecord(
             nbytes=nbytes, engine="memcpy", seconds=nbytes / cpe.ldm_bandwidth

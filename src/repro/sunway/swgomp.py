@@ -24,6 +24,8 @@ from typing import Callable
 import numpy as np
 
 from repro.obs import SpanKind, get_metrics, get_tracer
+from repro.resilience.faults import FaultKind, get_injector
+from repro.resilience.recovery import RetryPolicy
 from repro.sunway.arch import CoreGroup
 
 
@@ -74,6 +76,12 @@ class JobServer:
         #: Tracer override for this server; ``None`` resolves the global
         #: tracer at launch time (disabled no-op by default).
         self.tracer = tracer
+        #: Fault-injector override; ``None`` resolves the global injector
+        #: at launch time (no injection by default).  Failed chunks are
+        #: re-dispatched under this retry policy (the wasted execution
+        #: plus backoff is charged as simulated time).
+        self.fault_injector = None
+        self.retry = RetryPolicy()
 
     def init_from_mpe(self) -> None:
         """Athread initialisation performed by the MPE."""
@@ -112,6 +120,11 @@ class JobServer:
     def active_tracer(self):
         """This server's tracer, falling back to the process-global one."""
         return self.tracer if self.tracer is not None else get_tracer()
+
+    def active_injector(self):
+        """This server's fault injector, falling back to the global one
+        (``None`` unless a chaos run installed an injector)."""
+        return self.fault_injector if self.fault_injector is not None else get_injector()
 
     def spawn(self, spawner: str, target_cpe: int, role: str) -> None:
         """Assign a job to a CPE; spawner may be the MPE or another CPE."""
@@ -192,6 +205,7 @@ class TargetRegion:
         if n < 0:
             raise ValueError("n must be >= 0")
         tracer = self.server.active_tracer()
+        injector = self.server.active_injector()
         metrics = get_metrics()
         all_cpes: list[int] = []
         for t, head in enumerate(self._team_heads):
@@ -206,6 +220,29 @@ class TargetRegion:
 
         def charge(lane: int, start: int, end: int) -> None:
             cpe = all_cpes[lane]
+            if callable(cost_per_elem):
+                dt = cost_per_elem(start, end)
+            else:
+                dt = cost_per_elem * (end - start)
+            penalty = 0.0
+            if injector is not None:
+                # A failed CPE chunk: the job server re-dispatches it
+                # (the wasted attempt plus one backoff is pure simulated
+                # time — re-execution of the pure chunk body is bitwise
+                # neutral, so only the clock moves).
+                ev = injector.fire(FaultKind.CPE_FAIL, site=name)
+                if ev is not None:
+                    penalty += dt + self.server.retry.backoff(1)
+                    metrics.inc("swgomp.chunk_retries")
+                    injector.recover(FaultKind.CPE_FAIL, "chunk_retry", site=name)
+                # A straggler chunk: same result, k-times the time; the
+                # dynamic schedule's argmin lane selection then steers
+                # work away from the slow lane (detection + absorption).
+                ev = injector.fire(FaultKind.STRAGGLER, site=name)
+                if ev is not None:
+                    dt *= float(ev.params.get("straggler_factor", 8.0))
+                    metrics.inc("swgomp.stragglers")
+                    injector.recover(FaultKind.STRAGGLER, "straggler_absorbed", site=name)
             span = tracer.span(name, SpanKind.CHUNK, cpe=cpe, start=start, end=end)
             with span:
                 self.server._begin_chunk(cpe, start, end)
@@ -213,12 +250,8 @@ class TargetRegion:
                     body(start, end)
                 finally:
                     self.server._end_chunk(cpe, start, end)
-                if callable(cost_per_elem):
-                    dt = cost_per_elem(start, end)
-                else:
-                    dt = cost_per_elem * (end - start)
-                span.set(sim_seconds=dt)
-            times[lane] += dt
+                span.set(sim_seconds=dt + penalty)
+            times[lane] += dt + penalty
             st = self.server.cpes[all_cpes[lane]]
             st.chunks_executed += 1
             metrics.inc("swgomp.chunks")
