@@ -235,7 +235,9 @@ class StaticAnalyzer:
     def _replay_hit_ratio(self, bases: list, n_iters: int, elem_bytes: int) -> float:
         cache = LDCache(self.cache.size_bytes, self.cache.ways, self.cache.line_bytes)
         stream = loop_access_stream(bases, min(n_iters, _REPLAY_ITERS), elem_bytes)
-        return cache.run(stream).hit_ratio
+        # Batch replay is bitwise-equal to the scalar loop and keeps the
+        # simulated ratio cheap on large annotated loops.
+        return cache.run_batch(stream).hit_ratio
 
     # -- SW005: LDM budget -----------------------------------------------
     def _check_ldm_budget(self, plan: OffloadPlan, lp: PlannedLoop) -> list:

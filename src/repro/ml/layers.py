@@ -7,6 +7,13 @@ in ``.grads`` (cleared by the optimiser).  Dense layers take
 ``length`` is the vertical dimension — the 1-D convolutions "capture the
 vertical characteristics of temperature, humidity, and other atmospheric
 variables" (section 3.2.3).
+
+Inference contract: ``forward(..., train=False)`` allocates no
+activation caches *and* drops any cache left over from a previous
+training pass (every layer's cache attribute is ``None`` afterwards), so
+repeated inference holds no references to past batches and its memory
+footprint stays flat.  ``backward`` after an inference-mode forward
+raises.
 """
 
 from __future__ import annotations
@@ -53,8 +60,7 @@ class Dense(Layer):
         return {"W": self.dW, "b": self.db}
 
     def forward(self, x, train=True):
-        if train:
-            self._x = x
+        self._x = x if train else None
         return x @ self.W + self.b
 
     def backward(self, dy):
@@ -99,10 +105,12 @@ class Conv1D(Layer):
         b, c_in, L = x.shape
         pad = self.k // 2
         xp = np.pad(x, ((0, 0), (0, 0), (pad, pad)))
-        if train:
-            self._xp = xp
+        self._xp = xp if train else None
         c_out = self.W.shape[0]
-        y = np.zeros((b, c_out, L))
+        # Accumulate in the operand result dtype so a float32-cast net
+        # stays float32 end to end instead of upcasting through the
+        # float64 default.
+        y = np.zeros((b, c_out, L), dtype=np.result_type(xp.dtype, self.W.dtype))
         for dk in range(self.k):
             # y[:, o, l] += sum_i W[o, i, dk] * xp[:, i, l + dk]
             y += np.einsum("oi,bil->bol", self.W[:, :, dk], xp[:, :, dk: dk + L])
@@ -127,8 +135,9 @@ class ReLU(Layer):
         self._mask: np.ndarray | None = None
 
     def forward(self, x, train=True):
-        if train:
-            self._mask = x > 0.0
+        # The mask is itself an activation-sized allocation — skip it
+        # entirely in inference mode rather than computing and dropping.
+        self._mask = (x > 0.0) if train else None
         return np.maximum(x, 0.0)
 
     def backward(self, dy):

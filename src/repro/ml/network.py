@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from repro.ml.layers import Layer
@@ -68,6 +70,40 @@ class ResUnit(Layer):
 
     def backward(self, dy):
         return dy + self.inner.backward(dy)
+
+
+def cast_network(net: Layer, dtype) -> Layer:
+    """Deep-copy ``net`` with every parameter cast to ``dtype``.
+
+    The one-time weight cast behind the float32 inference fast path:
+    the returned clone shares no arrays with the original (training can
+    continue on the float64 master weights) and carries zeroed gradient
+    buffers in the target dtype.  Layer forward code is dtype-generic,
+    so running the clone on a ``dtype`` input stays in ``dtype`` end to
+    end.
+    """
+    dtype = np.dtype(dtype)
+
+    def _cast(layer: Layer) -> None:
+        if isinstance(layer, Sequential):
+            for sub in layer.layers:
+                _cast(sub)
+        elif isinstance(layer, ResUnit):
+            _cast(layer.inner)
+        else:
+            for attr in ("W", "b"):
+                if hasattr(layer, attr):
+                    setattr(layer, attr, getattr(layer, attr).astype(dtype))
+            for attr in ("dW", "db"):
+                if hasattr(layer, attr):
+                    setattr(
+                        layer, attr,
+                        np.zeros_like(getattr(layer, attr), dtype=dtype),
+                    )
+
+    clone = copy.deepcopy(net)
+    _cast(clone)
+    return clone
 
 
 def gradient_check(

@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.layers import Dense, ReLU
-from repro.ml.network import ResUnit, Sequential
+from repro.ml.network import ResUnit, Sequential, cast_network
 from repro.ml.training import Normalizer
 
 OUTPUTS = ("gsw", "glw")
@@ -42,9 +42,25 @@ class RadiationMLP:
         self.dense_layers = 7
         self.in_norm = Normalizer()
         self.out_norm = Normalizer()
+        self._infer_net = None
+        self._infer_dtype: np.dtype | None = None
 
     def n_params(self) -> int:
         return self.net.n_params()
+
+    def compile_inference(self, dtype=np.float32) -> None:
+        """Install a reduced-precision inference path (``ns``-style).
+
+        Same contract as :meth:`TendencyCNN.compile_inference`: one-time
+        weight cast into an inference clone, per-call input cast, output
+        upcast at the normalizer boundary.  ``dtype=None`` removes it.
+        """
+        if dtype is None:
+            self._infer_net = None
+            self._infer_dtype = None
+            return
+        self._infer_dtype = np.dtype(dtype)
+        self._infer_net = cast_network(self.net, self._infer_dtype)
 
     @staticmethod
     def pack_inputs(
@@ -67,7 +83,10 @@ class RadiationMLP:
         if self.in_norm.mean is None:
             raise RuntimeError("normalizers not fitted; call fit_normalizers")
         z = self.in_norm.transform(x)
-        out = self.net.forward(z, train=False)
+        if self._infer_net is not None:
+            out = self._infer_net.forward(z.astype(self._infer_dtype), train=False)
+        else:
+            out = self.net.forward(z, train=False)
         phys = self.out_norm.inverse(out)
         # Radiative fluxes are non-negative by construction.
         return np.maximum(phys, 0.0)

@@ -26,6 +26,7 @@ from repro.model.coupler import CouplingFields
 from repro.obs import get_metrics
 from repro.physics.column import PhysicsTendencies
 from repro.physics.surface import SurfaceModel
+from repro.precision.policy import PrecisionPolicy
 
 
 @dataclass
@@ -47,6 +48,7 @@ class MLPhysicsSuite:
         tendency_net: TendencyCNN,
         radiation_net: RadiationMLP,
         config: MLSuiteConfig | None = None,
+        precision: PrecisionPolicy | None = None,
     ):
         self.mesh = mesh
         self.vcoord = vcoord
@@ -54,6 +56,15 @@ class MLPhysicsSuite:
         self.tendency_net = tendency_net
         self.radiation_net = radiation_net
         self.config = config or MLSuiteConfig()
+        #: The model's ``ns`` switch applied to the networks: a mixed
+        #: policy compiles both nets' float32 inference path (weights
+        #: cast once; outputs return to float64 at the normalizer
+        #: boundary, so everything this suite hands back is float64).
+        self.precision = precision
+        if precision is not None and precision.mixed:
+            for net in (tendency_net, radiation_net):
+                if hasattr(net, "compile_inference"):
+                    net.compile_inference(precision.ns)
 
     def compute_from_coupler(self, state, fields: CouplingFields) -> PhysicsTendencies:
         """Suite evaluation from the coupling interface's variable set."""
@@ -91,11 +102,13 @@ class MLPhysicsSuite:
         )
         self.surface.step_land(gsw, glw, flux, dt)
 
-        # Precipitation diagnosed from the column moisture budget:
-        # P = E - d/dt(column water) = E + integral(cp/L * Q2) dm.
+        # Precipitation contract: P = max(column moisture sink, 0) —
+        # the vertically integrated cp/L * Q2 drying, clipped so net
+        # moistening columns rain nothing.  Evaporation recycles through
+        # the moisture tendency, not directly into precip.
         dpi = state.dpi()
         col_sink = (q2 * (CP_DRY / LATENT_HEAT_VAP) * dpi).sum(axis=1) / GRAVITY
-        precip = np.maximum(flux.evaporation * 0.0 + col_sink, 0.0)
+        precip = np.maximum(col_sink, 0.0)
 
         zeros = np.zeros_like(dtheta)
         return PhysicsTendencies(

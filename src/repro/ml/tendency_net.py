@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.layers import Conv1D, ReLU
-from repro.ml.network import ResUnit, Sequential
+from repro.ml.network import ResUnit, Sequential, cast_network
 from repro.ml.training import Normalizer
 
 #: Channel order of the input profiles.
@@ -46,9 +46,29 @@ class TendencyCNN:
         self.in_norm = Normalizer()
         self.out_norm = Normalizer()
         self.conv_layers = 1 + 2 * n_resunits   # the "11-layer deep CNN"
+        self._infer_net = None
+        self._infer_dtype: np.dtype | None = None
 
     def n_params(self) -> int:
         return self.net.n_params()
+
+    def compile_inference(self, dtype=np.float32) -> None:
+        """Install a reduced-precision inference path (``ns``-style).
+
+        Weights are cast *once* into an inference-only clone;
+        :meth:`predict` then casts each normalized input to ``dtype``,
+        runs the clone, and upcasts at the normalizer boundary (the
+        inverse transform's float64 statistics promote the output).
+        Training continues on the float64 master weights — re-call after
+        further training to refresh the clone.  ``dtype=None`` removes
+        the fast path.
+        """
+        if dtype is None:
+            self._infer_net = None
+            self._infer_dtype = None
+            return
+        self._infer_dtype = np.dtype(dtype)
+        self._infer_net = cast_network(self.net, self._infer_dtype)
 
     # -- data plumbing -----------------------------------------------------
     @staticmethod
@@ -73,7 +93,10 @@ class TendencyCNN:
         if self.in_norm.mean is None:
             raise RuntimeError("normalizers not fitted; call fit_normalizers")
         z = self.in_norm.transform(x)
-        out = self.net.forward(z, train=False)
+        if self._infer_net is not None:
+            out = self._infer_net.forward(z.astype(self._infer_dtype), train=False)
+        else:
+            out = self.net.forward(z, train=False)
         return self.out_norm.inverse(out)
 
     def predict_q1q2(

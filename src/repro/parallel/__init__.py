@@ -16,6 +16,7 @@ solver rank-by-rank:
 
 from repro.parallel.driver import DistributedDycore
 from repro.parallel.exchange import EdgeCellExchanger
+from repro.parallel.executor import ProcessRankExecutor, SerialRankExecutor
 from repro.parallel.localmesh import LocalMesh, build_local_meshes
 
 __all__ = [
@@ -23,4 +24,6 @@ __all__ = [
     "build_local_meshes",
     "EdgeCellExchanger",
     "DistributedDycore",
+    "SerialRankExecutor",
+    "ProcessRankExecutor",
 ]

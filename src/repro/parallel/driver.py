@@ -22,6 +22,12 @@ from repro.dycore.state import ModelState
 from repro.dycore.vertical import VerticalCoordinate
 from repro.grid.mesh import Mesh
 from repro.parallel.exchange import EdgeCellExchanger
+from repro.parallel.executor import (
+    ProcessRankExecutor,
+    SerialRankExecutor,
+    _ShmArena,
+    _TendencySlot,
+)
 from repro.parallel.localmesh import LocalMesh, build_local_meshes
 from repro.partition.decomposition import decompose
 from repro.partition.graph import mesh_cell_graph
@@ -56,11 +62,18 @@ class DistributedDycore:
         nparts: int,
         seed: int = 0,
         retry: RetryPolicy | None = None,
+        workers: int = 1,
     ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.mesh = mesh
         self.vcoord = vcoord
         self.config = config
         self.nparts = nparts
+        #: Rank-stepping parallelism: 1 = serial in-process loop (the
+        #: reference), >1 = that many forked workers over shared-memory
+        #: field buffers.  Results are bitwise identical either way.
+        self.workers = min(workers, nparts)
         #: Retransmission policy handed to the halo exchanger (only
         #: consulted when a fault injector is active).
         self.retry = retry or RetryPolicy()
@@ -75,10 +88,21 @@ class DistributedDycore:
         self._states: list[RankState] | None = None
         self._exchanger: EdgeCellExchanger | None = None
         self._scratch: list[ModelState] | None = None
+        self._executor = None
 
     # -- state distribution ------------------------------------------------
     def scatter(self, state: ModelState) -> None:
-        """Distribute a global state onto the ranks."""
+        """Distribute a global state onto the ranks.
+
+        With ``workers > 1`` the per-rank prognostic arrays (and three
+        tendency output slots per rank) are placed in one shared
+        anonymous mmap, and the worker processes are forked at the end —
+        after the exchanger and scratch states are built — so everything
+        they inherit aliases the shared arena.
+        """
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
         self._states = [
             RankState(
                 ps=lm.scatter_cell_field(state.ps),
@@ -88,6 +112,9 @@ class DistributedDycore:
             )
             for lm in self.locals
         ]
+        slots: list[list[_TendencySlot]] | None = None
+        if self.workers > 1:
+            self._states, slots = self._to_shared(self._states)
         ex = EdgeCellExchanger(self.locals, self.comm, retry=self.retry)
         ex.register_cell("ps", [s.ps for s in self._states])
         ex.register_cell("theta", [s.theta for s in self._states])
@@ -112,6 +139,55 @@ class DistributedDycore:
             )
             for lm, st in zip(self.locals, self._states)
         ]
+        if self.workers > 1:
+            self._executor = ProcessRankExecutor(
+                self.cores, self._scratch, slots, self.workers
+            )
+        else:
+            self._executor = SerialRankExecutor(self.cores, self._scratch)
+
+    def _to_shared(
+        self, states: list[RankState]
+    ) -> tuple[list[RankState], list[list[_TendencySlot]]]:
+        """Rehome rank arrays into one shared arena; build output slots."""
+        nlev = self.vcoord.nlev
+        shapes: list[tuple[int, ...]] = []
+        for lm in self.locals:
+            nc, ne = lm.n_cells, lm.n_edges
+            # state: ps, u, theta, phi_surface
+            shapes += [(nc,), (ne, nlev), (nc, nlev), (nc,)]
+            # three tendency slots: ps, u, theta_mass, flux_edge each
+            shapes += (
+                [(nc,), (ne, nlev), (nc, nlev), (ne, nlev)]
+                * ProcessRankExecutor.N_SLOTS
+            )
+        arena = _ShmArena(_ShmArena.nbytes(shapes))
+        self._arena = arena  # keep the mapping alive alongside the views
+        shared: list[RankState] = []
+        slots: list[list[_TendencySlot]] = [
+            [] for _ in range(ProcessRankExecutor.N_SLOTS)
+        ]
+        for lm, st in zip(self.locals, states):
+            nc, ne = lm.n_cells, lm.n_edges
+            sh = RankState(
+                ps=arena.take((nc,)),
+                u=arena.take((ne, nlev)),
+                theta=arena.take((nc, nlev)),
+                phi_surface=arena.take((nc,)),
+            )
+            sh.ps[:] = st.ps
+            sh.u[:] = st.u
+            sh.theta[:] = st.theta
+            sh.phi_surface[:] = st.phi_surface
+            shared.append(sh)
+            for slot in slots:
+                slot.append(_TendencySlot(arena, nc, ne, nlev))
+        return shared, slots
+
+    def close(self) -> None:
+        """Reap worker processes (no-op for serial execution)."""
+        if self._executor is not None:
+            self._executor.close()
 
     def gather(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Reassemble global (ps, u, theta) from owned entities."""
@@ -136,13 +212,13 @@ class DistributedDycore:
         return self._scratch[lm.rank]
 
     def _tendencies_all(self) -> list[Tendencies]:
-        """Halo exchange, then per-rank tendency evaluation."""
+        """Halo exchange, then per-rank tendency evaluation.
+
+        The evaluation itself is delegated to the rank executor (serial
+        loop or forked workers) — identical results either way.
+        """
         self._exchanger.exchange()
-        out = []
-        for lm, st, core in zip(self.locals, self._states, self.cores):
-            mstate = self._local_model_state(lm, st)
-            out.append(core.compute_tendencies(mstate))
-        return out
+        return self._executor.compute_tendencies()
 
     @staticmethod
     def _combine(per_rank: list[list[Tendencies]], weights: list[float]) -> list[Tendencies]:
@@ -192,8 +268,7 @@ class DistributedDycore:
             # Refresh halos so the sponge's Laplacians see the same
             # neighbour values as the serial solver, then damp per rank.
             self._exchanger.exchange()
-            for lm, st, core in zip(self.locals, self._states, self.cores):
-                core._apply_sponge(self._local_model_state(lm, st), dt)
+            self._executor.sponge(dt)
 
     def _apply(self, base: list[RankState], tds: list[Tendencies], dt: float) -> None:
         for st, b, td in zip(self._states, base, tds):

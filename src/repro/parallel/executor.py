@@ -1,0 +1,231 @@
+"""Rank executors: serial and multiprocess stepping of decomposed ranks.
+
+Between halo exchanges the simulated MPI ranks are data-independent —
+each rank's tendency evaluation reads only its own local arrays (owned +
+halo entities, refreshed by the exchanger before every evaluation).
+:class:`SerialRankExecutor` steps them in a loop in the driver process
+(the historical behaviour and the bitwise reference);
+:class:`ProcessRankExecutor` steps them on persistent forked worker
+processes over shared-memory field buffers, so multi-core machines
+overlap the per-rank NumPy work.
+
+Bitwise contract
+----------------
+Both executors run the *same* ``DynamicalCore.compute_tendencies`` /
+``_apply_sponge`` code on the same inputs, so their results are bitwise
+identical; the equality test in ``tests/test_parallel_executor.py`` pins
+it.  The mechanism:
+
+* all per-rank prognostic arrays (``ps``, ``u``, ``theta``,
+  ``phi_surface``) and three tendency output slots per rank live in one
+  anonymous ``mmap`` arena (``MAP_SHARED``) carved into NumPy views;
+* workers are forked *after* :meth:`DistributedDycore.scatter`, so they
+  inherit the cores, local meshes, and scratch states aliasing the
+  shared arrays — parent-side writes (RK ``_apply``, halo unpack) are
+  visible to workers and worker-side writes (tendencies, sponge updates)
+  are visible to the parent with no pickling of field data;
+* three output slots exist because an SSP-RK3 step holds all of
+  ``t1``/``t2``/``t3`` live at once; the executor cycles slots per
+  tendency call.
+
+Workers execute the pure NumPy tendency code only; tracing spans and
+metrics emitted inside a worker stay in that worker (the driver-side
+spans — halo exchange, apply — are unaffected).  Fork start method is
+required (Linux); callers must ``close()`` the executor (or the driver)
+to reap the workers.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+
+import numpy as np
+
+from repro.dycore.solver import Tendencies
+
+
+class _ShmArena:
+    """One anonymous shared mapping carved into float64 NumPy views.
+
+    ``mmap.mmap(-1, n)`` is ``MAP_SHARED | MAP_ANONYMOUS`` on Unix, so
+    views taken before a fork are coherent between parent and children
+    without named shared-memory segments or cleanup handlers beyond
+    dropping the references.
+    """
+
+    def __init__(self, nbytes: int):
+        self._mm = mmap.mmap(-1, max(nbytes, mmap.PAGESIZE))
+        self._offset = 0
+
+    def take(self, shape: tuple[int, ...]) -> np.ndarray:
+        count = int(np.prod(shape, dtype=np.int64))
+        view = np.frombuffer(
+            self._mm, dtype=np.float64, count=count, offset=self._offset
+        ).reshape(shape)
+        self._offset += count * 8
+        return view
+
+    @staticmethod
+    def nbytes(shapes: list[tuple[int, ...]]) -> int:
+        return int(sum(np.prod(s, dtype=np.int64) for s in shapes)) * 8
+
+
+class _TendencySlot:
+    """Shared-memory destination for one rank's Tendencies."""
+
+    def __init__(self, arena: _ShmArena, nc: int, ne: int, nlev: int):
+        self.ps = arena.take((nc,))
+        self.u = arena.take((ne, nlev))
+        self.theta_mass = arena.take((nc, nlev))
+        self.flux_edge = arena.take((ne, nlev))
+
+    def store(self, td: Tendencies) -> None:
+        self.ps[:] = td.ps
+        self.u[:] = td.u
+        self.theta_mass[:] = td.theta_mass
+        self.flux_edge[:] = td.flux_edge
+
+    def view(self) -> Tendencies:
+        return Tendencies(
+            ps=self.ps, u=self.u, theta_mass=self.theta_mass,
+            flux_edge=self.flux_edge,
+        )
+
+
+class SerialRankExecutor:
+    """Step all ranks in the calling process (reference behaviour)."""
+
+    workers = 1
+
+    def __init__(self, cores: list, scratch: list):
+        self._cores = cores
+        self._scratch = scratch
+
+    def compute_tendencies(self) -> list[Tendencies]:
+        return [
+            core.compute_tendencies(ms)
+            for core, ms in zip(self._cores, self._scratch)
+        ]
+
+    def sponge(self, dt: float) -> None:
+        for core, ms in zip(self._cores, self._scratch):
+            core._apply_sponge(ms, dt)
+
+    def close(self) -> None:  # symmetric API; nothing to reap
+        pass
+
+
+def _worker_loop(conn, ranks, cores, scratch, slots) -> None:
+    """Body of one forked worker: serve tendency/sponge commands.
+
+    Everything is inherited through the fork — ``scratch`` states alias
+    the shared arena, so no field data crosses the pipe; only tiny
+    command tuples do.
+    """
+    try:
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "tend":
+                slot = msg[1]
+                for r in ranks:
+                    slots[slot][r].store(cores[r].compute_tendencies(scratch[r]))
+                conn.send(("ok", None))
+            elif op == "sponge":
+                dt = msg[1]
+                for r in ranks:
+                    cores[r]._apply_sponge(scratch[r], dt)
+                conn.send(("ok", None))
+            elif op == "stop":
+                conn.send(("ok", None))
+                return
+    except (EOFError, KeyboardInterrupt):
+        return
+    except Exception as exc:  # surface worker failures to the driver
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+
+
+class ProcessRankExecutor:
+    """Step ranks on persistent forked workers over shared memory.
+
+    Must be constructed *after* the driver has scattered state into the
+    shared arena (workers snapshot the process image at fork time).
+    Ranks are dealt round-robin across ``workers`` processes; each
+    tendency call broadcasts one command and waits for all workers — a
+    barrier matching the serial loop's completion semantics.
+    """
+
+    #: RK3 holds t1/t2/t3 simultaneously; slots cycle per tendency call.
+    N_SLOTS = 3
+
+    def __init__(self, cores: list, scratch: list, slots: list, workers: int):
+        import multiprocessing as mp
+
+        if os.name != "posix":  # pragma: no cover - Linux container only
+            raise RuntimeError("ProcessRankExecutor requires fork (POSIX)")
+        self.workers = workers
+        self._slots = slots
+        self._nranks = len(cores)
+        self._next_slot = 0
+        ctx = mp.get_context("fork")
+        self._conns = []
+        self._procs = []
+        for w in range(workers):
+            ranks = list(range(w, self._nranks, workers))
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_loop,
+                args=(child, ranks, cores, scratch, slots),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+
+    def _broadcast(self, msg: tuple) -> None:
+        for conn in self._conns:
+            conn.send(msg)
+        errors = []
+        for conn in self._conns:
+            status, detail = conn.recv()
+            if status != "ok":
+                errors.append(detail)
+        if errors:
+            raise RuntimeError(f"rank worker failed: {'; '.join(errors)}")
+
+    def compute_tendencies(self) -> list[Tendencies]:
+        slot = self._next_slot
+        self._next_slot = (self._next_slot + 1) % self.N_SLOTS
+        self._broadcast(("tend", slot))
+        return [self._slots[slot][r].view() for r in range(self._nranks)]
+
+    def sponge(self, dt: float) -> None:
+        self._broadcast(("sponge", dt))
+
+    def close(self) -> None:
+        for conn, proc in zip(self._conns, self._procs):
+            try:
+                if proc.is_alive():
+                    conn.send(("stop",))
+                    conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._conns = []
+        self._procs = []
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -148,6 +148,58 @@ class TestHotpathBench:
         assert m.check_regression(res, str(fake_path))
 
 
+class TestSubstrateBench:
+    """The substrate fast-path driver: JSON shape, bitwise contracts,
+    and the profile-matched regression gate."""
+
+    def test_tiny_run_and_check(self, tmp_path):
+        import json
+
+        from benchmarks import bench_substrate as m
+
+        out = tmp_path / "bench.json"
+        rc = m.main(["--tiny", "--out", str(out)])
+        assert rc == 0
+        res = json.loads(out.read_text())
+        assert res["schema"] == m.SCHEMA
+        assert set(res["profiles"]) == {"tiny"}
+        p = res["profiles"]["tiny"]
+        # Every fast path must have honoured its bitwise contract.
+        for key in ("g4_stream", "thrash_fig6"):
+            r = p["ldcache"][key]
+            assert r["stats_bitwise_identical"]
+            assert r["tag_age_bitwise_identical"]
+            assert r["batch_seconds"] > 0
+        assert p["swgomp"]["accounting_identical"]
+        for r in p["rank_stepping"]["workers"].values():
+            assert r["bitwise_identical"]
+        assert p["ml_inference"]["tendency_cnn"]["fp32_vs_fp64_max_rel_err"] < 1e-4
+        assert p["host_cpus"] >= 1
+
+        # The gate passes against its own numbers...
+        assert m.check_regression(res, str(out)) == []
+        # ...trips on a baseline claiming a much larger speedup...
+        fake = json.loads(out.read_text())
+        fake["profiles"]["tiny"]["ldcache"]["g4_stream"]["speedup"] = 1e9
+        fake_path = tmp_path / "fake.json"
+        fake_path.write_text(json.dumps(fake))
+        assert m.check_regression(res, str(fake_path))
+        # ...and fails loudly when no profile has a baseline twin.
+        orphan = {"schema": m.SCHEMA, "profiles": {"full": res["profiles"]["tiny"]}}
+        orphan_path = tmp_path / "orphan.json"
+        orphan_path.write_text(json.dumps(orphan))
+        assert m.check_regression(res, str(orphan_path))
+
+    def test_committed_baseline_has_both_profiles(self):
+        import json
+        from pathlib import Path
+
+        baseline = json.loads(
+            (Path(__file__).parent.parent / "BENCH_substrate.json").read_text()
+        )
+        assert set(baseline["profiles"]) >= {"tiny", "full"}
+
+
 class TestFigureDriversTinySize:
     """fig7/fig8 take minutes full-size; smoke their drivers tiny."""
 

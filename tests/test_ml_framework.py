@@ -89,6 +89,90 @@ class TestResUnit:
             r.forward(rng.normal(size=(2, 4)))
 
 
+class TestInferenceMode:
+    """``train=False`` must allocate no backward caches — the memory
+    contract the coupled-model inference loop relies on."""
+
+    def _net(self):
+        rng = np.random.default_rng(0)
+        return Sequential(Conv1D(3, 4, 3, rng), ReLU(), Conv1D(4, 2, 3, rng))
+
+    def test_inference_leaves_caches_none(self):
+        net = self._net()
+        x = np.random.default_rng(1).normal(size=(5, 3, 8))
+        net.forward(x, train=False)
+        for layer in net.layers:
+            if isinstance(layer, Conv1D):
+                assert layer._xp is None
+            if isinstance(layer, ReLU):
+                assert layer._mask is None
+
+    def test_inference_clears_training_caches(self):
+        """A training forward then an inference forward must not retain
+        the stale training batch."""
+        net = self._net()
+        rng = np.random.default_rng(2)
+        net.forward(rng.normal(size=(64, 3, 8)), train=True)
+        net.forward(rng.normal(size=(5, 3, 8)), train=False)
+        for layer in net.layers:
+            if isinstance(layer, Conv1D):
+                assert layer._xp is None
+
+    def test_dense_relu_inference_caches_none(self):
+        rng = np.random.default_rng(3)
+        dense, relu = Dense(6, 4, rng), ReLU()
+        x = rng.normal(size=(10, 6))
+        relu.forward(dense.forward(x, train=False), train=False)
+        assert dense._x is None
+        assert relu._mask is None
+
+    def test_train_and_inference_outputs_identical(self):
+        net = self._net()
+        x = np.random.default_rng(4).normal(size=(5, 3, 8))
+        np.testing.assert_array_equal(
+            net.forward(x, train=True), net.forward(x, train=False)
+        )
+
+
+class TestCastNetwork:
+    def test_cast_is_a_deep_copy(self):
+        from repro.ml.network import cast_network
+
+        net = Sequential(Dense(4, 3, np.random.default_rng(0)))
+        clone = cast_network(net, np.float32)
+        assert clone is not net
+        assert clone.layers[0].W.dtype == np.float32
+        # The original is untouched.
+        assert net.layers[0].W.dtype == np.float64
+        clone.layers[0].W[:] = 0.0
+        assert not np.all(net.layers[0].W == 0.0)
+
+    def test_cast_recurses_through_resunits(self):
+        from repro.ml.network import cast_network
+
+        rng = np.random.default_rng(1)
+        net = Sequential(
+            Conv1D(3, 4, 3, rng), ResUnit(Conv1D(4, 4, 3, rng), ReLU())
+        )
+        clone = cast_network(net, np.float32)
+        for p in clone.params().values():
+            assert p.dtype == np.float32
+
+    def test_float32_forward_close_to_float64(self):
+        from repro.ml.network import cast_network
+
+        rng = np.random.default_rng(2)
+        net = Sequential(Conv1D(3, 8, 3, rng), ReLU(), Conv1D(8, 2, 3, rng))
+        x = rng.normal(size=(6, 3, 10))
+        y64 = net.forward(x, train=False)
+        y32 = cast_network(net, np.float32).forward(
+            x.astype(np.float32), train=False
+        )
+        assert y32.dtype == np.float32
+        scale = np.max(np.abs(y64))
+        assert np.max(np.abs(y32 - y64)) / scale < 1e-5
+
+
 class TestOptimizers:
     def _quadratic_net(self):
         d = Dense(3, 1, rng=np.random.default_rng(0))

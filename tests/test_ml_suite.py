@@ -104,6 +104,86 @@ class TestRadiationMLP:
         assert net.flops_per_column() > 0
 
 
+class TestInferenceFastPath:
+    """The compiled float32 inference path: float64 in/out at the suite
+    boundary, tight agreement with the float64 reference, clean removal."""
+
+    def _fitted_cnn(self, rng, nlev=8):
+        net = TendencyCNN(nlev=nlev, width=8, n_resunits=1)
+        x = rng.normal(size=(40, 5, nlev))
+        net.fit_normalizers(x, rng.normal(size=(40, 2, nlev)))
+        return net, x
+
+    def test_compiled_cnn_outputs_float64_and_close(self, rng):
+        net, x = self._fitted_cnn(rng)
+        ref = net.predict(x)
+        net.compile_inference(np.float32)
+        out = net.predict(x)
+        assert out.dtype == np.float64
+        scale = np.max(np.abs(ref))
+        assert np.max(np.abs(out - ref)) / scale < 1e-4
+
+    def test_compile_none_restores_reference_path(self, rng):
+        net, x = self._fitted_cnn(rng)
+        ref = net.predict(x)
+        net.compile_inference(np.float32)
+        net.compile_inference(None)
+        np.testing.assert_array_equal(net.predict(x), ref)
+
+    def test_compiled_radiation_mlp_float64_and_nonnegative(self, rng):
+        net = RadiationMLP(nlev=6, width=16)
+        x = rng.normal(size=(40, 14))
+        net.fit_normalizers(x, np.abs(rng.normal(size=(40, 2))) * 100.0)
+        ref = net.predict(x)
+        net.compile_inference(np.float32)
+        out = net.predict(x)
+        assert out.dtype == np.float64
+        assert np.all(out >= 0.0)
+        scale = np.max(np.abs(ref)) + 1e-30
+        assert np.max(np.abs(out - ref)) / scale < 1e-4
+
+    def test_inference_retains_no_training_caches(self, rng):
+        """Repeated prediction must not hold activation-sized arrays —
+        the compiled clone runs train=False throughout."""
+        net, x = self._fitted_cnn(rng)
+        net.compile_inference(np.float32)
+        for _ in range(3):
+            net.predict(x)
+        from repro.ml.layers import Conv1D, Dense, ReLU
+
+        for target in (net.net, net._infer_net):
+            for layer in target.layers:
+                if isinstance(layer, Conv1D):
+                    assert layer._xp is None
+                if isinstance(layer, Dense):
+                    assert layer._x is None
+                if isinstance(layer, ReLU):
+                    assert layer._mask is None
+
+    def test_suite_precision_hook_compiles_nets(self, mesh2, vc, rng):
+        from repro.ml.suite import MLPhysicsSuite
+        from repro.physics.surface import SurfaceModel, idealized_sst
+        from repro.precision.policy import PrecisionPolicy
+
+        tn, _ = self._fitted_cnn(rng, nlev=vc.nlev)
+        rn = RadiationMLP(nlev=vc.nlev, width=16)
+        xr = rng.normal(size=(40, 2 * vc.nlev + 2))
+        rn.fit_normalizers(xr, np.abs(rng.normal(size=(40, 2))))
+        sfc = SurfaceModel(land_mask=np.zeros(mesh2.nc),
+                           sst=idealized_sst(mesh2.cell_lat))
+
+        MLPhysicsSuite(mesh2, vc, sfc, tn, rn,
+                       precision=PrecisionPolicy(mixed=True))
+        assert tn._infer_net is not None
+        assert rn._infer_net is not None
+        assert tn._infer_dtype == np.float32
+
+        tn2, _ = self._fitted_cnn(rng, nlev=vc.nlev)
+        MLPhysicsSuite(mesh2, vc, sfc, tn2, rn,
+                       precision=PrecisionPolicy(mixed=False))
+        assert tn2._infer_net is None
+
+
 class TestCoarseGrainer:
     def test_constant_field_exact(self, mesh2, mesh3):
         cg = CoarseGrainer(mesh3, mesh2)

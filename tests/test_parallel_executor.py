@@ -1,0 +1,157 @@
+"""Tests of the rank executors: the forked shared-memory path must be
+bitwise indistinguishable from the serial in-process loop.
+
+The contract (documented in ``repro.parallel.executor``): both executors
+run the same ``DynamicalCore`` code on the same local arrays, so every
+gathered prognostic field — and every intermediate the driver observes —
+matches bit for bit.  These tests fork real worker processes; they are
+skipped on platforms without ``fork``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.dycore.solver import DycoreConfig
+from repro.dycore.state import baroclinic_wave_state
+from repro.dycore.vertical import VerticalCoordinate
+from repro.grid.mesh import build_mesh
+from repro.parallel.driver import DistributedDycore
+from repro.parallel.executor import (
+    ProcessRankExecutor,
+    SerialRankExecutor,
+    _ShmArena,
+)
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix", reason="ProcessRankExecutor requires fork"
+)
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return build_mesh(3)
+
+
+@pytest.fixture(scope="module")
+def vc():
+    return VerticalCoordinate.uniform(5)
+
+
+def _run(mesh, vc, workers: int, steps: int = 3, sponge: int = 0):
+    cfg = DycoreConfig(dt=600.0, sponge_levels=sponge)
+    d = DistributedDycore(mesh, vc, cfg, nparts=4, workers=workers)
+    d.scatter(baroclinic_wave_state(mesh, vc))
+    d.run(steps)
+    fields = d.gather()
+    d.close()
+    return fields
+
+
+class TestBitwiseEquality:
+    def test_two_workers_match_serial_bitwise(self, mesh, vc):
+        serial = _run(mesh, vc, workers=1)
+        parallel = _run(mesh, vc, workers=2)
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a, b)
+
+    def test_three_workers_with_sponge_match_serial_bitwise(self, mesh, vc):
+        """Uneven rank deal (4 ranks over 3 workers) plus the sponge
+        command path, which writes state in the workers."""
+        serial = _run(mesh, vc, workers=1, sponge=2)
+        parallel = _run(mesh, vc, workers=3, sponge=2)
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a, b)
+
+
+class TestExecutorLifecycle:
+    def test_workers_selects_executor_class(self, mesh, vc):
+        cfg = DycoreConfig(dt=600.0)
+        d1 = DistributedDycore(mesh, vc, cfg, nparts=4, workers=1)
+        d1.scatter(baroclinic_wave_state(mesh, vc))
+        assert isinstance(d1._executor, SerialRankExecutor)
+        d1.close()
+
+        d2 = DistributedDycore(mesh, vc, cfg, nparts=4, workers=2)
+        d2.scatter(baroclinic_wave_state(mesh, vc))
+        assert isinstance(d2._executor, ProcessRankExecutor)
+        d2.close()
+
+    def test_workers_clamped_to_nparts(self, mesh, vc):
+        d = DistributedDycore(
+            mesh, vc, DycoreConfig(dt=600.0), nparts=2, workers=16
+        )
+        assert d.workers == 2
+        with pytest.raises(ValueError):
+            DistributedDycore(
+                mesh, vc, DycoreConfig(dt=600.0), nparts=2, workers=0
+            )
+
+    def test_close_reaps_workers(self, mesh, vc):
+        d = DistributedDycore(
+            mesh, vc, DycoreConfig(dt=600.0), nparts=4, workers=2
+        )
+        d.scatter(baroclinic_wave_state(mesh, vc))
+        procs = list(d._executor._procs)
+        assert all(p.is_alive() for p in procs)
+        d.close()
+        assert all(not p.is_alive() for p in procs)
+
+    def test_rescatter_replaces_workers(self, mesh, vc):
+        """scatter() on a live parallel driver reaps the old fork set
+        (which snapshotted the previous arena) and forks a fresh one."""
+        d = DistributedDycore(
+            mesh, vc, DycoreConfig(dt=600.0), nparts=4, workers=2
+        )
+        state = baroclinic_wave_state(mesh, vc)
+        d.scatter(state)
+        old = list(d._executor._procs)
+        d.step()
+        d.scatter(state)
+        assert all(not p.is_alive() for p in old)
+        d.step()
+        d.close()
+
+
+class TestShmArena:
+    def test_views_are_shared_across_fork(self):
+        """A child write to an arena view must be visible to the parent —
+        the property the whole executor relies on."""
+        import multiprocessing as mp
+
+        arena = _ShmArena(_ShmArena.nbytes([(4,)]))
+        view = arena.take((4,))
+        view[:] = 0.0
+
+        def child():
+            view[:] = [1.0, 2.0, 3.0, 4.0]
+
+        proc = mp.get_context("fork").Process(target=child)
+        proc.start()
+        proc.join(timeout=10.0)
+        assert np.array_equal(view, [1.0, 2.0, 3.0, 4.0])
+
+    def test_take_is_disjoint_and_float64(self):
+        arena = _ShmArena(_ShmArena.nbytes([(3,), (2, 2)]))
+        a = arena.take((3,))
+        b = arena.take((2, 2))
+        a[:] = 1.0
+        b[:] = 2.0
+        assert a.dtype == np.float64 and b.dtype == np.float64
+        assert np.all(a == 1.0) and np.all(b == 2.0)
+
+    def test_worker_error_propagates(self, mesh, vc):
+        """An exception inside a worker surfaces as a driver-side
+        RuntimeError instead of a hang."""
+        d = DistributedDycore(
+            mesh, vc, DycoreConfig(dt=600.0), nparts=4, workers=2
+        )
+        d.scatter(baroclinic_wave_state(mesh, vc))
+        ex = d._executor
+        ex._conns[0].send(("tend", 99))  # out-of-range slot index
+        with pytest.raises((RuntimeError, EOFError, IndexError)):
+            status, detail = ex._conns[0].recv()
+            if status != "ok":
+                raise RuntimeError(detail)
+        d.close()

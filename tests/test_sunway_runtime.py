@@ -234,6 +234,84 @@ class TestJobServer:
         assert chunk.args["end"] > chunk.args["start"]
 
 
+class TestFastPathAccounting:
+    """The vectorized static-schedule fast path must be accounting-
+    equivalent to the per-chunk reference (``server.vectorized = False``)
+    and must stand down whenever any per-chunk contract is in play."""
+
+    @staticmethod
+    def _launch(vectorized, n, cost, observers=(), tracer=None):
+        srv = JobServer()
+        srv.vectorized = vectorized
+        srv.init_from_mpe()
+        srv.chunk_observers.extend(observers)
+        if tracer is not None:
+            srv.tracer = tracer
+        region = TargetRegion(srv)
+        buf = np.zeros(max(n, 1))
+        t = region.parallel_for(
+            lambda s, e: buf[s:e].__iadd__(1.0), n, cost_per_elem=cost
+        )
+        return srv, buf, t
+
+    @pytest.mark.parametrize("n", [0, 3, 64, 1000, 64_001])
+    def test_scalar_cost_accounting_bitwise(self, n):
+        srv_f, buf_f, t_f = self._launch(True, n, 1.25e-9)
+        srv_r, buf_r, t_r = self._launch(False, n, 1.25e-9)
+        assert t_f == t_r
+        assert [c.busy_seconds for c in srv_f.cpes] == \
+            [c.busy_seconds for c in srv_r.cpes]
+        assert [c.chunks_executed for c in srv_f.cpes] == \
+            [c.chunks_executed for c in srv_r.cpes]
+        np.testing.assert_array_equal(buf_f, buf_r)
+
+    def test_callable_cost_accounting_bitwise(self):
+        def cost(s, e):
+            return 1e-9 * (e - s) * (1.0 + 0.01 * s)
+
+        srv_f, _, t_f = self._launch(True, 10_000, cost)
+        srv_r, _, t_r = self._launch(False, 10_000, cost)
+        assert t_f == t_r
+        assert [c.busy_seconds for c in srv_f.cpes] == \
+            [c.busy_seconds for c in srv_r.cpes]
+
+    def test_observers_force_reference_path(self):
+        """Chunk observers must still see every chunk — the fast path
+        stands down rather than skipping the begin/end callbacks."""
+        events = []
+
+        class Recorder:
+            def begin_chunk(self, cpe, start, end):
+                events.append(("b", cpe, start, end))
+
+            def end_chunk(self, cpe, start, end):
+                events.append(("e", cpe, start, end))
+
+        srv, _, _ = self._launch(True, 640, 1e-9, observers=[Recorder()])
+        n_chunks = sum(c.chunks_executed for c in srv.cpes)
+        assert len(events) == 2 * n_chunks
+        assert n_chunks == srv.cg.n_cpes
+
+    def test_tracer_forces_reference_path(self):
+        from repro.obs import SpanKind, Tracer
+
+        tracer = Tracer()
+        srv, _, _ = self._launch(True, 640, 1e-9, tracer=tracer)
+        chunks = [s for s in tracer.events if s.kind is SpanKind.CHUNK]
+        assert len(chunks) == srv.cg.n_cpes
+
+    def test_static_bounds_cached_and_frozen(self):
+        from repro.sunway.swgomp import _static_bounds
+
+        b1 = _static_bounds(1000, 64)
+        b2 = _static_bounds(1000, 64)
+        assert b1 is b2                      # lru_cache hit
+        assert not b1.flags.writeable
+        assert b1[0] == 0 and b1[-1] == 1000
+        with pytest.raises(ValueError):
+            b1[0] = 5
+
+
 class TestKernelTimer:
     def setup_method(self):
         self.timer = KernelTimer()
