@@ -1,15 +1,27 @@
-"""swlint: static offload-plan analyzer + runtime sanitizer.
+"""swlint: static analyzers + runtime sanitizers for the substrate.
 
-The correctness-tooling layer for the simulated Sunway substrate.  A
-kernel declares *what* it touches (:class:`AccessSpec`); the static
-analyzer (:class:`StaticAnalyzer`) checks an :class:`OffloadPlan` of
-such loops against the paper's hard-won offloading rules (SW001–SW007:
-races, ``nowait`` hazards, launch order, LDCache thrash, LDM budget,
-precision demotion, halo reach); the runtime :class:`Sanitizer` executes
-the loops chunk-by-chunk through the real job server and stamps each
-suspected race CONFIRMED or FALSE_POSITIVE from the observed per-chunk
-index sets.  ``repro lint`` drives the whole pass over the repo's
-annotated kernels and the known-bad regression corpus.
+The correctness-tooling layer, two rule families:
+
+* **SW001–SW007** — one offload plan at a time.  A kernel declares
+  *what* it touches (:class:`AccessSpec`); the static analyzer
+  (:class:`StaticAnalyzer`) checks an :class:`OffloadPlan` of such
+  loops against the paper's hard-won offloading rules (races,
+  ``nowait`` hazards, launch order, LDCache thrash, LDM budget,
+  precision demotion, halo reach); the runtime :class:`Sanitizer`
+  executes the loops chunk-by-chunk through the real job server and
+  stamps each suspected race CONFIRMED or FALSE_POSITIVE from the
+  observed per-chunk index sets.
+* **RD001–RD005** — the whole parallel layer.  A
+  :class:`ParallelPlan` declares rank-step phases, exchange-plan index
+  sets, shared-arena extents and barriers; the
+  :class:`StaticRaceAnalyzer` checks the happens-before graph (races on
+  arena slots, halo read-before-recv, in-flight pack-buffer reuse,
+  missing stage barriers, order-sensitive reductions) and the
+  :class:`RaceSanitizer` vector-clock replays the plan — or a real
+  driver run via :func:`sanitize_run` — to settle every verdict.
+
+``repro lint`` (and ``--parallel``) drives both passes over the repo's
+annotated kernels, the real step plan, and the known-bad corpora.
 """
 
 from repro.analysis.access import (
@@ -30,6 +42,28 @@ from repro.analysis.diagnostics import (
     Severity,
     rank,
 )
+from repro.analysis.parallel_plan import (
+    DRIVER,
+    Access,
+    HappensBefore,
+    OpKind,
+    ParallelPlan,
+    PlanOp,
+)
+from repro.analysis.race_corpus import KNOWN_RACY_PLANS, RaceCorpusCase
+from repro.analysis.race_sanitizer import (
+    RaceEvent,
+    RaceReplay,
+    RaceSanitizer,
+    RunSanitizeReport,
+    sanitize_run,
+)
+from repro.analysis.races import (
+    StaticRaceAnalyzer,
+    analyze_parallel_plan,
+    build_step_plan,
+)
+from repro.analysis.report import LINT_SCHEMA_VERSION
 from repro.analysis.sanitizer import LoopObservation, Sanitizer, ShadowArray
 from repro.analysis.static import (
     CacheGeometry,
@@ -54,6 +88,23 @@ __all__ = [
     "Diagnostic",
     "Severity",
     "rank",
+    "DRIVER",
+    "Access",
+    "HappensBefore",
+    "OpKind",
+    "ParallelPlan",
+    "PlanOp",
+    "KNOWN_RACY_PLANS",
+    "RaceCorpusCase",
+    "RaceEvent",
+    "RaceReplay",
+    "RaceSanitizer",
+    "RunSanitizeReport",
+    "sanitize_run",
+    "StaticRaceAnalyzer",
+    "analyze_parallel_plan",
+    "build_step_plan",
+    "LINT_SCHEMA_VERSION",
     "LoopObservation",
     "Sanitizer",
     "ShadowArray",

@@ -1,9 +1,13 @@
-"""Typed diagnostics and the swlint rule catalog (SW001–SW007).
+"""Typed diagnostics and the lint rule catalog (SW001–SW007, RD001–RD005).
 
-Each rule encodes one of the paper's hard-won offloading lessons as a
-statically checkable property; the sanitizer can upgrade a diagnostic's
-``verdict`` from None to ``CONFIRMED`` or ``FALSE_POSITIVE`` by
-observing the actual per-chunk access sets at execution time.
+Each SW rule encodes one of the paper's hard-won offloading lessons as a
+statically checkable property of one offload plan; the RD family covers
+the *parallel layer* — races and determinism hazards across ranks,
+exchange buffers and the shared arena (see
+:mod:`repro.analysis.races`).  Either way the sanitizer can upgrade a
+diagnostic's ``verdict`` from None to ``CONFIRMED`` or
+``FALSE_POSITIVE`` by observing the actual access sets at execution
+time.
 """
 
 from __future__ import annotations
@@ -38,6 +42,13 @@ RULES: dict = {
     "SW005": Rule("SW005", "LDM budget exceeded for staged chunk", Severity.ERROR),
     "SW006": Rule("SW006", "precision-sensitive term computed in float32", Severity.ERROR),
     "SW007": Rule("SW007", "read reaches beyond the declared halo width", Severity.ERROR),
+    # RD family: races & determinism across the parallel layer.
+    "RD001": Rule("RD001", "write-write conflict on overlapping arena slots", Severity.ERROR),
+    "RD002": Rule("RD002", "halo read before the exchange recv completes", Severity.ERROR),
+    "RD003": Rule("RD003", "zero-copy pack buffer reused while in flight", Severity.ERROR),
+    "RD004": Rule("RD004", "missing barrier between dependent RK phases", Severity.ERROR),
+    "RD005": Rule("RD005", "order-sensitive reduction without tolerance contract",
+                  Severity.ERROR),
 }
 
 #: Sanitizer verdicts.
@@ -50,7 +61,7 @@ UNVERIFIED = None
 class Diagnostic:
     """One analyzer finding, ready for JSON or human rendering."""
 
-    rule: str                    # "SW001" ... "SW007"
+    rule: str                    # "SW001"... / "RD001"... (a RULES key)
     message: str
     plan: str = ""
     loop: str = ""

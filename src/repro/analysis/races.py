@@ -1,0 +1,480 @@
+"""Static happens-before race & determinism checker (RD001-RD005).
+
+Where swlint (SW rules) checks one offloaded loop nest, the RD family
+checks the *parallel layer*: a :class:`~repro.analysis.parallel_plan.
+ParallelPlan` of rank-step phases, compiled exchange-plan index sets,
+shared-arena slots and barriers.  The rules:
+
+* **RD001** — write-write conflict on overlapping arena slots: two ops
+  write intersecting index sets of one resource (or byte-aliased arena
+  slots) with no happens-before path between them;
+* **RD002** — halo read-before-recv: an op reads indices a compiled
+  exchange plan delivers (the recv set) either concurrently with the
+  unpack that writes them, or with no completed exchange between the
+  last non-exchange write and the read (stale halo);
+* **RD003** — in-flight pack-buffer reuse: a zero-copy send buffer is
+  rewritten by a later pack before (or concurrently with) the unpack
+  that drains the previous epoch's payload;
+* **RD004** — missing inter-stage barrier: dependent RK phases (a
+  tendency evaluation and the apply that consumes its slot, or the
+  apply and the next stage's evaluation) are not ordered;
+* **RD005** — order-sensitive reduction: a collective whose float
+  summation order differs across rank counts, declared without a
+  tolerance contract.
+
+:func:`build_step_plan` derives the plan for one RK step of a real
+:class:`~repro.parallel.driver.DistributedDycore` from the components'
+own declarative annotations (exchange plans, arena layout, executor
+rounds); the current lockstep implementation must — and does — analyze
+clean, which is exactly the gate the comm/compute-overlap work needs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.parallel_plan import (
+    DRIVER,
+    Access,
+    HappensBefore,
+    OpKind,
+    ParallelPlan,
+    PlanOp,
+    indices_intersect,
+)
+
+#: Tendency-slot component names, in :class:`_TendencySlot` field order.
+SLOT_COMPONENTS = ("ps", "u", "theta_mass", "flux_edge")
+
+
+def _pair_key(a: str, b: str, resource: str, rule: str) -> tuple:
+    return (rule, frozenset((a, b)), resource)
+
+
+def classify_conflict(writer: PlanOp, other: PlanOp, other_writes: bool) -> str:
+    """RD rule id for one unordered conflicting access pair."""
+    if other_writes:
+        return "RD001"
+    if writer.kind is OpKind.PACK and other.kind is OpKind.UNPACK:
+        return "RD003"
+    if writer.kind is OpKind.UNPACK:
+        return "RD002"
+    return "RD004"
+
+
+class StaticRaceAnalyzer:
+    """Run the full RD001-RD005 pass over a :class:`ParallelPlan`."""
+
+    def analyze(self, plan: ParallelPlan) -> list:
+        hb = HappensBefore(plan)
+        diags: list = []
+        seen: set = set()
+        diags += self._check_conflicts(plan, hb, seen)
+        diags += self._check_aliasing(plan, hb, seen)
+        diags += self._check_stale_halo(plan, hb, seen)
+        diags += self._check_pack_reuse(plan, hb, seen)
+        diags += self._check_reductions(plan)
+        return diags
+
+    # -- generic unordered-conflict pass (RD001/RD002/RD003/RD004) --------
+    @staticmethod
+    def _by_resource(plan: ParallelPlan) -> dict:
+        out: dict = {}
+        for op in plan.ops:
+            for acc in op.accesses:
+                out.setdefault(acc.resource, []).append((op, acc))
+        return out
+
+    def _check_conflicts(self, plan, hb, seen) -> list:
+        diags = []
+        for resource, touches in self._by_resource(plan).items():
+            for i, (op_a, acc_a) in enumerate(touches):
+                for op_b, acc_b in touches[i + 1:]:
+                    if op_a.name == op_b.name:
+                        continue
+                    if not (acc_a.writes or acc_b.writes):
+                        continue
+                    if not indices_intersect(acc_a.indices, acc_b.indices):
+                        continue
+                    if hb.ordered(op_a.name, op_b.name):
+                        continue
+                    writer, other, o_acc = (
+                        (op_a, op_b, acc_b) if acc_a.writes
+                        else (op_b, op_a, acc_a)
+                    )
+                    rule = classify_conflict(writer, other, o_acc.writes)
+                    key = _pair_key(op_a.name, op_b.name, resource, rule)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    diags.append(self._conflict_diag(
+                        plan, rule, resource, writer, other, o_acc.writes
+                    ))
+        return diags
+
+    @staticmethod
+    def _conflict_diag(plan, rule, resource, writer, other, other_writes):
+        what = {
+            "RD001": "both write it with no happens-before path",
+            "RD002": "the read can run before the unpack delivers "
+                     "the halo payload",
+            "RD003": "the pack can rewrite the zero-copy send buffer "
+                     "while the previous unpack still reads it",
+            "RD004": "the phases are dependent but unordered (missing "
+                     "inter-stage barrier)",
+        }[rule]
+        return Diagnostic(
+            rule=rule,
+            plan=plan.name,
+            loop=f"{writer.name}|{other.name}",
+            array=resource,
+            message=(
+                f"ops {writer.name!r} ({writer.kind.value}, lane "
+                f"{writer.lane}) and {other.name!r} ({other.kind.value}, "
+                f"lane {other.lane}) conflict on {resource!r}: {what}"
+            ),
+            details={
+                "ops": sorted((writer.name, other.name)),
+                "resource": resource,
+                "writer": writer.name,
+                "kinds": sorted((writer.kind.value, other.kind.value)),
+                "write_write": other_writes,
+                "fix": {
+                    "RD001": "give each writer a private slot, or order "
+                             "them with a barrier/sync edge",
+                    "RD002": "add a sync edge from the unpack to the "
+                             "consumer (complete the exchange first)",
+                    "RD003": "double-buffer the pack buffer or delay the "
+                             "repack until the matching unpack drained it",
+                    "RD004": "insert the inter-stage barrier (executor "
+                             "round) between the dependent phases",
+                }[rule],
+            },
+        )
+
+    # -- RD001: byte-aliased arena slots ----------------------------------
+    def _check_aliasing(self, plan, hb, seen) -> list:
+        diags = []
+        by_res = self._by_resource(plan)
+        for ra, rb in plan.aliased_resources():
+            for op_a, acc_a in by_res.get(ra, ()):
+                for op_b, acc_b in by_res.get(rb, ()):
+                    if op_a.name == op_b.name:
+                        continue
+                    if not (acc_a.writes or acc_b.writes):
+                        continue
+                    if hb.ordered(op_a.name, op_b.name):
+                        continue
+                    key = _pair_key(op_a.name, op_b.name, f"{ra}~{rb}", "RD001")
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    oa, la = plan.arena[ra]
+                    ob, lb = plan.arena[rb]
+                    diags.append(Diagnostic(
+                        rule="RD001",
+                        plan=plan.name,
+                        loop=f"{op_a.name}|{op_b.name}",
+                        array=f"{ra}~{rb}",
+                        message=(
+                            f"arena slots {ra!r} [{oa}:{oa + la}) and "
+                            f"{rb!r} [{ob}:{ob + lb}) alias overlapping "
+                            f"bytes and ops {op_a.name!r}/{op_b.name!r} "
+                            "touch them unordered (at least one writes)"
+                        ),
+                        details={
+                            "ops": sorted((op_a.name, op_b.name)),
+                            "resource": f"{ra}~{rb}",
+                            "extents": {ra: [oa, la], rb: [ob, lb]},
+                            "fix": "re-carve the arena so slots are "
+                                   "disjoint (one take() per slot, no "
+                                   "manual offsets)",
+                        },
+                    ))
+        return diags
+
+    # -- RD002: stale halo (no completed exchange before the read) --------
+    def _check_stale_halo(self, plan, hb, seen) -> list:
+        diags = []
+        by_res = self._by_resource(plan)
+        for resource, halo_idx in plan.halo_recv.items():
+            touches = by_res.get(resource, ())
+            writers = [
+                (op, acc) for op, acc in touches
+                if acc.writes and indices_intersect(acc.indices, halo_idx)
+            ]
+            for op_r, acc_r in touches:
+                if not acc_r.reads or op_r.kind is not OpKind.COMPUTE:
+                    # Only stencil consumers (tendency/sponge rounds)
+                    # need fresh halos.  Packs read the send (owned)
+                    # set, and saves/applies merely transport base
+                    # values that a later unpack refreshes before any
+                    # compute reads them.
+                    continue
+                if not indices_intersect(acc_r.indices, halo_idx):
+                    continue
+                if any(
+                    op_w.kind is OpKind.UNPACK
+                    and not hb.ordered(op_w.name, op_r.name)
+                    for op_w, _ in writers
+                ):
+                    # An unpack exists but races the read: that is the
+                    # pairwise RD002 conflict's territory, not a
+                    # missing/overwritten exchange.
+                    continue
+                before = [
+                    (op_w, acc_w) for op_w, acc_w in writers
+                    if op_w.name != op_r.name
+                    and hb.before(op_w.name, op_r.name)
+                ]
+                # Maximal happens-before writers: not overwritten by a
+                # later happens-before writer.
+                maximal = [
+                    (op_w, acc_w) for op_w, acc_w in before
+                    if not any(
+                        hb.before(op_w.name, op_v.name)
+                        for op_v, _ in before
+                        if op_v.name != op_w.name
+                    )
+                ]
+                stale = [op_w for op_w, _ in maximal
+                         if op_w.kind is not OpKind.UNPACK]
+                if before and not stale:
+                    continue
+                key = ("RD002-stale", op_r.name, resource)
+                if key in seen:
+                    continue
+                seen.add(key)
+                reason = (
+                    f"the freshest happens-before writers "
+                    f"({sorted(op.name for op in stale)!r}) are not "
+                    "exchange unpacks — the halo is stale"
+                    if before else
+                    "no exchange unpack happens-before it at all"
+                )
+                diags.append(Diagnostic(
+                    rule="RD002",
+                    plan=plan.name,
+                    loop=op_r.name,
+                    array=resource,
+                    message=(
+                        f"op {op_r.name!r} reads halo indices of "
+                        f"{resource!r} but {reason}"
+                    ),
+                    details={
+                        "op": op_r.name,
+                        "resource": resource,
+                        "stale_writers": sorted(op.name for op in stale),
+                        "fix": "exchange (pack/send/recv/unpack) this "
+                               "field before the consuming phase",
+                    },
+                ))
+        return diags
+
+    # -- RD003: pack overwrites a payload the unpack has not drained ------
+    def _check_pack_reuse(self, plan, hb, seen) -> list:
+        diags = []
+        by_res = self._by_resource(plan)
+        for resource, touches in by_res.items():
+            unpacks = [(op, acc) for op, acc in touches
+                       if op.kind is OpKind.UNPACK and acc.reads]
+            packs = [(op, acc) for op, acc in touches
+                     if op.kind is OpKind.PACK and acc.writes]
+            for op_u, _ in unpacks:
+                for op_p, _ in packs:
+                    if op_p.epoch <= op_u.epoch:
+                        continue   # the producer or an earlier epoch
+                    if hb.before(op_u.name, op_p.name):
+                        continue   # drained before the repack: safe
+                    key = _pair_key(op_u.name, op_p.name, resource, "RD003")
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    diags.append(Diagnostic(
+                        rule="RD003",
+                        plan=plan.name,
+                        loop=f"{op_p.name}|{op_u.name}",
+                        array=resource,
+                        message=(
+                            f"pack {op_p.name!r} (epoch {op_p.epoch}) "
+                            f"rewrites {resource!r} before unpack "
+                            f"{op_u.name!r} (epoch {op_u.epoch}) drains "
+                            "the in-flight zero-copy payload"
+                        ),
+                        details={
+                            "ops": sorted((op_p.name, op_u.name)),
+                            "resource": resource,
+                            "pack_epoch": op_p.epoch,
+                            "unpack_epoch": op_u.epoch,
+                            "fix": "order the repack after the matching "
+                                   "unpack, or double-buffer",
+                        },
+                    ))
+        return diags
+
+    # -- RD005: order-sensitive reductions --------------------------------
+    def _check_reductions(self, plan) -> list:
+        diags = []
+        for op in plan.ops:
+            if op.kind is not OpKind.REDUCE:
+                continue
+            if not op.order_sensitive or op.tolerance is not None:
+                continue
+            diags.append(Diagnostic(
+                rule="RD005",
+                plan=plan.name,
+                loop=op.name,
+                array=",".join(a.resource for a in op.accesses),
+                message=(
+                    f"reduction {op.name!r} is order-sensitive (float "
+                    "summation order differs across rank counts) but "
+                    "declares no tolerance contract — results are not "
+                    "reproducible across decompositions"
+                ),
+                details={
+                    "op": op.name,
+                    "fix": "declare tolerance=... (the explicit contract) "
+                           "or use a rank-count-invariant reduction "
+                           "(fixed-order / compensated summation)",
+                },
+            ))
+        return diags
+
+
+def analyze_parallel_plan(plan: ParallelPlan) -> list:
+    """Convenience one-shot: ``StaticRaceAnalyzer().analyze(plan)``."""
+    return StaticRaceAnalyzer().analyze(plan)
+
+
+# ---------------------------------------------------------------------------
+# Plan extraction from a real DistributedDycore
+# ---------------------------------------------------------------------------
+
+def _prognostic_resources(rank: int, fields) -> list:
+    return [f"rank{rank}.{f}" for f in fields]
+
+
+def build_step_plan(driver, name: str = "rk_step") -> ParallelPlan:
+    """Derive the :class:`ParallelPlan` of one RK step of ``driver``.
+
+    Faithful to the current lockstep implementation: saves, exchange
+    pack/unpack loops and RK applies run on the :data:`DRIVER` lane;
+    tendency (and sponge) evaluations run on rank lanes bracketed by the
+    executor's broadcast/reply barriers.  Index sets come from the
+    compiled :class:`~repro.parallel.exchange.ExchangePlan`\\ s, arena
+    byte extents from :meth:`DistributedDycore.arena_layout`.
+    """
+    if driver._exchanger is None:
+        raise RuntimeError("scatter a state first (no exchanger compiled)")
+    ann = driver._exchanger.access_annotations()
+    fields = list(driver._exchanger.registered_fields())
+    read_fields = fields + ["phi_surface"]
+    nranks = driver.nparts
+    stages = driver.config.rk_stages
+    n_slots = 3
+
+    ops: list[PlanOp] = []
+    edges: list[tuple] = []
+
+    def add_exchange(epoch: int) -> None:
+        for (rank, nbr), pair in sorted(ann.items()):
+            accesses = [Access(pair["buffer"], mode="w")]
+            accesses += [
+                Access(f"rank{rank}.{fname}", mode="r", indices=idx)
+                for fname, idx in pair["sends"].items()
+            ]
+            ops.append(PlanOp(
+                name=f"e{epoch}.pack.{rank}to{nbr}", kind=OpKind.PACK,
+                lane=DRIVER, accesses=accesses, epoch=epoch,
+            ))
+        for (rank, nbr), pair in sorted(ann.items()):
+            accesses = [Access(ann[(nbr, rank)]["buffer"], mode="r")]
+            accesses += [
+                Access(f"rank{rank}.{fname}", mode="w", indices=idx)
+                for fname, idx in pair["recvs"].items()
+            ]
+            uname = f"e{epoch}.unpack.{rank}from{nbr}"
+            ops.append(PlanOp(
+                name=uname, kind=OpKind.UNPACK,
+                lane=DRIVER, accesses=accesses, epoch=epoch,
+            ))
+            edges.append((f"e{epoch}.pack.{nbr}to{rank}", uname))
+
+    def add_round(label: str, stage: int, slot: int | None) -> None:
+        ops.append(PlanOp(name=f"{label}.begin", kind=OpKind.BARRIER))
+        for r in range(nranks):
+            accesses = [
+                Access(res, mode="r")
+                for res in _prognostic_resources(r, read_fields)
+            ]
+            if slot is not None:
+                accesses += [
+                    Access(f"rank{r}.slot{slot}.{c}", mode="w")
+                    for c in SLOT_COMPONENTS
+                ]
+            else:   # sponge: damps the prognostics in place
+                accesses += [
+                    Access(res, mode="w")
+                    for res in _prognostic_resources(r, fields)
+                ]
+            ops.append(PlanOp(
+                name=f"{label}.rank{r}", kind=OpKind.COMPUTE, lane=r,
+                accesses=accesses, stage=stage,
+            ))
+        ops.append(PlanOp(name=f"{label}.end", kind=OpKind.BARRIER))
+
+    def add_apply(stage: int, slots: list) -> None:
+        accesses = []
+        for r in range(nranks):
+            accesses += [Access(f"rank{r}.saved", mode="r")]
+            for s in slots:
+                accesses += [
+                    Access(f"rank{r}.slot{s}.{c}", mode="r")
+                    for c in SLOT_COMPONENTS
+                ]
+            accesses += [
+                Access(res, mode="w")
+                for res in _prognostic_resources(r, fields)
+            ]
+        ops.append(PlanOp(
+            name=f"apply.s{stage}", kind=OpKind.APPLY, lane=DRIVER,
+            accesses=accesses, stage=stage,
+        ))
+
+    # Save the step's base state (the RK increments build on it).
+    ops.append(PlanOp(
+        name="save", kind=OpKind.APPLY, lane=DRIVER,
+        accesses=tuple(
+            [Access(res, mode="r")
+             for r in range(nranks)
+             for res in _prognostic_resources(r, fields)]
+            + [Access(f"rank{r}.saved", mode="w") for r in range(nranks)]
+        ),
+    ))
+    slots_used: list[int] = []
+    for stage in range(1, stages + 1):
+        slot = (stage - 1) % n_slots
+        slots_used.append(slot)
+        add_exchange(epoch=stage)
+        add_round(f"tend.s{stage}", stage, slot)
+        if stages >= 3:
+            applied = slots_used if stage > 1 else [slot]
+        else:
+            applied = slots_used
+        add_apply(stage, applied)
+    if driver.config.sponge_levels > 0:
+        add_exchange(epoch=stages + 1)
+        add_round("sponge", stages + 1, None)
+
+    halo_recv: dict = {}
+    for (rank, _nbr), pair in ann.items():
+        for fname, idx in pair["recvs"].items():
+            res = f"rank{rank}.{fname}"
+            halo_recv.setdefault(res, set()).update(int(i) for i in idx)
+
+    return ParallelPlan(
+        name=name,
+        ops=ops,
+        edges=edges,
+        arena=driver.arena_layout() if driver.workers > 1 else {},
+        halo_recv={r: tuple(sorted(s)) for r, s in halo_recv.items()},
+    )

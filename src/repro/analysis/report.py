@@ -1,6 +1,6 @@
 """`repro lint` driver: run swlint end-to-end and render the results.
 
-Two sections:
+Sections:
 
 * **kernels** — the repo's own annotated kernels
   (:data:`repro.dycore.kernels.MAJOR_KERNELS`) assembled into one
@@ -10,7 +10,18 @@ Two sections:
 * **corpus** — the known-bad plans of
   :data:`repro.analysis.corpus.KNOWN_BAD_CORPUS`; every case must keep
   producing its expected rule IDs, and runnable cases get their
-  diagnostics verified by the sanitizer (CONFIRMED / FALSE_POSITIVE).
+  diagnostics verified by the sanitizer (CONFIRMED / FALSE_POSITIVE);
+* **parallel** (``--parallel``) — the RD race & determinism pass: the
+  step plan of a real (tiny) :class:`DistributedDycore` must analyze
+  clean, every :data:`repro.analysis.race_corpus.KNOWN_RACY_PLANS` case
+  must keep its expected rules and replay verdict, and a one-step
+  ``workers=2`` run is dynamically sanitized through the observed span
+  stream.
+
+The JSON serialization carries ``schema_version``
+(:data:`LINT_SCHEMA_VERSION`), contains no wall-clock fields, and keeps
+a deterministic ordering (severity-ranked diagnostics, fixed corpus
+order), so CI can diff reports across runs byte for byte.
 """
 
 from __future__ import annotations
@@ -21,6 +32,10 @@ from repro.analysis.diagnostics import CONFIRMED, FALSE_POSITIVE, Severity, rank
 from repro.analysis.sanitizer import Sanitizer
 from repro.analysis.static import StaticAnalyzer
 from repro.sunway.allocator import PoolAllocator
+
+#: Version of the ``repro lint --json`` document layout.  Bump on any
+#: structural change so CI consumers can reject unknown layouts.
+LINT_SCHEMA_VERSION = 2
 
 
 def partition_halo_width(level: int = 2, nparts: int = 4) -> int:
@@ -116,16 +131,94 @@ def lint_corpus(
     return results
 
 
-def lint_all(sanitize: bool = True) -> dict:
+def lint_race_corpus(sanitize: bool = True) -> list:
+    """Analyze every seeded racy plan; one result dict per case."""
+    from repro.analysis.race_corpus import KNOWN_RACY_PLANS
+    from repro.analysis.race_sanitizer import RaceSanitizer
+    from repro.analysis.races import analyze_parallel_plan
+
+    results = []
+    for case in KNOWN_RACY_PLANS.values():
+        plan = case.build()
+        diags = analyze_parallel_plan(plan)
+        if sanitize:
+            RaceSanitizer().verify(plan, diags)
+        found = {d.rule for d in diags}
+        verdict_ok = not sanitize or all(
+            any(d.rule == r and d.verdict == case.expect_verdict
+                for d in diags)
+            for r in case.expect_rules
+        )
+        results.append({
+            "name": case.name,
+            "expected_rules": sorted(case.expect_rules),
+            "expected_verdict": case.expect_verdict if sanitize else None,
+            "found_rules": sorted(found),
+            "ok": case.expect_rules <= found and verdict_ok,
+            "diagnostics": rank(diags),
+        })
+    return results
+
+
+def lint_parallel(sanitize: bool = True, workers: int = 2) -> dict:
+    """The RD race & determinism pass over a real tiny G3 driver."""
+    from repro.analysis.race_sanitizer import sanitize_run
+    from repro.analysis.races import analyze_parallel_plan
+    from repro.dycore.solver import DycoreConfig
+    from repro.dycore.state import baroclinic_wave_state
+    from repro.dycore.vertical import VerticalCoordinate
+    from repro.grid.mesh import build_mesh
+    from repro.parallel.driver import DistributedDycore
+
+    mesh = build_mesh(2)
+    vc = VerticalCoordinate.uniform(4)
+    driver = DistributedDycore(
+        mesh, vc, DycoreConfig(dt=600.0, sponge_levels=2),
+        nparts=4, workers=workers,
+    )
+    try:
+        driver.scatter(baroclinic_wave_state(mesh, vc))
+        plan = driver.step_plan()
+        plan_diags = rank(analyze_parallel_plan(plan))
+        if sanitize:
+            run_report = sanitize_run(driver, steps=1).to_dict()
+        else:
+            run_report = None
+    finally:
+        driver.close()
+    corpus = lint_race_corpus(sanitize=sanitize)
+    corpus_ok = all(c["ok"] for c in corpus)
+    plan_errors = [d for d in plan_diags if d.severity is Severity.ERROR]
+    run_clean = run_report is None or run_report["clean"]
+    return {
+        "step_plan": {
+            "name": plan.name,
+            "ops": len(plan.ops),
+            "workers": workers,
+            "diagnostics": plan_diags,
+            "n_error": len(plan_errors),
+        },
+        "race_corpus": {"cases": corpus, "all_expected_found": corpus_ok},
+        "dynamic_run": run_report,
+        "ok": not plan_errors and corpus_ok and run_clean,
+    }
+
+
+def lint_all(sanitize: bool = True, parallel: bool = False) -> dict:
     """Full lint run; the dict `repro lint` serialises."""
     kernel_diags = rank(lint_kernels())
     corpus = lint_corpus(sanitize=sanitize)
     all_diags = kernel_diags + [d for c in corpus for d in c["diagnostics"]]
+    par = lint_parallel(sanitize=sanitize) if parallel else None
+    if par is not None:
+        all_diags = all_diags + par["step_plan"]["diagnostics"] + [
+            d for c in par["race_corpus"]["cases"] for d in c["diagnostics"]
+        ]
     confirmed = sum(1 for d in all_diags if d.verdict == CONFIRMED)
     false_pos = sum(1 for d in all_diags if d.verdict == FALSE_POSITIVE)
     kernel_errors = [d for d in kernel_diags if d.severity is Severity.ERROR]
     corpus_ok = all(c["ok"] for c in corpus)
-    return {
+    result = {
         "kernels": {
             "diagnostics": kernel_diags,
             "n_error": len(kernel_errors),
@@ -138,14 +231,23 @@ def lint_all(sanitize: bool = True) -> dict:
             "info": sum(1 for d in all_diags if d.severity is Severity.INFO),
             "confirmed": confirmed,
             "false_positives": false_pos,
-            "strict_ok": not kernel_errors and corpus_ok,
+            "strict_ok": not kernel_errors and corpus_ok
+            and (par is None or par["ok"]),
         },
     }
+    if par is not None:
+        result["parallel"] = par
+    return result
 
 
 def to_json(result: dict) -> dict:
-    """JSON-serialisable copy of a :func:`lint_all` result."""
-    return {
+    """JSON-serialisable copy of a :func:`lint_all` result.
+
+    Carries ``schema_version`` and preserves the deterministic ordering
+    (rank-sorted diagnostics, fixed case order) so CI diffs are stable.
+    """
+    out = {
+        "schema_version": LINT_SCHEMA_VERSION,
         "kernels": {
             "diagnostics": [d.to_dict() for d in result["kernels"]["diagnostics"]],
             "n_error": result["kernels"]["n_error"],
@@ -159,6 +261,26 @@ def to_json(result: dict) -> dict:
         },
         "summary": result["summary"],
     }
+    if "parallel" in result:
+        par = result["parallel"]
+        out["parallel"] = {
+            "step_plan": {
+                **par["step_plan"],
+                "diagnostics": [
+                    d.to_dict() for d in par["step_plan"]["diagnostics"]
+                ],
+            },
+            "race_corpus": {
+                "cases": [
+                    {**c, "diagnostics": [d.to_dict() for d in c["diagnostics"]]}
+                    for c in par["race_corpus"]["cases"]
+                ],
+                "all_expected_found": par["race_corpus"]["all_expected_found"],
+            },
+            "dynamic_run": par["dynamic_run"],
+            "ok": par["ok"],
+        }
+    return out
 
 
 def _fmt_diag(d) -> str:
@@ -184,6 +306,34 @@ def render_human(result: dict) -> str:
             f"-> found {','.join(c['found_rules']) or '(none)'} [{status}]"
         )
         lines.extend(_fmt_diag(d) for d in c["diagnostics"])
+    if "parallel" in result:
+        par = result["parallel"]
+        sp = par["step_plan"]
+        lines.append("")
+        lines.append(
+            f"== parallel step plan ({sp['workers']} worker(s), "
+            f"{sp['ops']} ops, {sp['n_error']} error(s)) =="
+        )
+        if not sp["diagnostics"]:
+            lines.append("  clean: no RD diagnostics")
+        lines.extend(_fmt_diag(d) for d in sp["diagnostics"])
+        lines.append("")
+        lines.append("== known-racy corpus ==")
+        for c in par["race_corpus"]["cases"]:
+            status = "ok" if c["ok"] else "MISSING EXPECTED RULES/VERDICTS"
+            want_v = f" ({c['expected_verdict']})" if c["expected_verdict"] else ""
+            lines.append(
+                f" {c['name']}: expected {','.join(c['expected_rules'])}"
+                f"{want_v} -> found {','.join(c['found_rules']) or '(none)'} "
+                f"[{status}]"
+            )
+            lines.extend(_fmt_diag(d) for d in c["diagnostics"])
+        run = par["dynamic_run"]
+        if run is not None:
+            lines.append(
+                f" dynamic run: {run['ops']} observed ops — "
+                f"{'clean' if run['clean'] else str(len(run['events'])) + ' race event(s)'}"
+            )
     s = result["summary"]
     lines.append("")
     lines.append(

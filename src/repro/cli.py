@@ -9,7 +9,8 @@ without writing any Python:
 * ``kernels``   — the Fig. 9 kernel speedup table;
 * ``train-ml``  — the section 3.2 training workflow;
 * ``grids``     — print Table 2;
-* ``lint``      — swlint: static offload-plan analysis + sanitizer;
+* ``lint``      — swlint: static offload-plan analysis + sanitizer,
+  and with ``--parallel`` the RD race & determinism pass;
 * ``profile``   — instrumented run: spans, metrics, Chrome trace, and
   the predicted-vs-traced kernel reconciliation;
 * ``chaos``     — fault-injected integration under a named plan:
@@ -161,7 +162,7 @@ def _cmd_lint(args) -> int:
 
     from repro.analysis.report import lint_all, render_human, to_json
 
-    result = lint_all(sanitize=not args.no_sanitize)
+    result = lint_all(sanitize=not args.no_sanitize, parallel=args.parallel)
     if args.json:
         print(json.dumps(to_json(result), indent=2))
     else:
@@ -307,7 +308,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser(
         "lint",
-        help="swlint: lint annotated kernels + known-bad corpus (SW001-SW007)",
+        help="swlint: lint annotated kernels + known-bad corpus (SW001-SW007),"
+             " plus the RD race/determinism pass with --parallel",
     )
     sp.add_argument("--json", action="store_true",
                     help="machine-readable JSON instead of the human report")
@@ -315,6 +317,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="exit nonzero on kernel ERRORs or missed corpus rules")
     sp.add_argument("--no-sanitize", action="store_true",
                     help="static analysis only, skip the runtime sanitizer")
+    sp.add_argument("--parallel", action="store_true",
+                    help="also run the RD race & determinism analyzer: real "
+                         "step plan, seeded racy corpus, dynamic workers=2 run")
     sp.set_defaults(func=_cmd_lint)
 
     sp = sub.add_parser(

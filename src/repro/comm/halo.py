@@ -38,6 +38,8 @@ class HaloExchanger:
         self.comm = comm
         # The "linked list": ordered registry of (name) -> per-rank arrays.
         self._registry: dict[str, list[np.ndarray]] = {}
+        #: Completed exchange rounds (the race analyzer's clock epoch).
+        self.exchange_epochs = 0
 
     # -- variable registry (the linked-list gather) ------------------------
     def register(self, name: str, per_rank_arrays: list[np.ndarray]) -> None:
@@ -69,6 +71,36 @@ class HaloExchanger:
         ranks); stencil reads deeper than this are SW007 territory."""
         return min((s.halo_rings for s in self.subdomains), default=0)
 
+    # -- declarative annotations for the race analyzer ---------------------
+    def access_annotations(self) -> dict:
+        """Declared accesses of one exchange, per (rank, neighbour) pair.
+
+        Mirrors :meth:`EdgeCellExchanger.access_annotations`: every
+        registered variable travels in the pair's single aggregated
+        message, so the send (read) and recv (write) cell index sets are
+        shared by all fields of the pair.
+        """
+        out: dict = {}
+        names = list(self._registry)
+        for sub in self.subdomains:
+            for nbr, send_idx in sub.send_cells.items():
+                pair = out.setdefault(
+                    (sub.rank, nbr),
+                    {"buffer": f"halo_buf.{sub.rank}.{nbr}",
+                     "sends": {}, "recvs": {}},
+                )
+                for name in names:
+                    pair["sends"][name] = send_idx.copy()
+            for nbr, recv_idx in sub.recv_cells.items():
+                pair = out.setdefault(
+                    (sub.rank, nbr),
+                    {"buffer": f"halo_buf.{sub.rank}.{nbr}",
+                     "sends": {}, "recvs": {}},
+                )
+                for name in names:
+                    pair["recvs"][name] = recv_idx.copy()
+        return out
+
     # -- exchanges ---------------------------------------------------------
     def exchange(self) -> None:
         """Aggregated exchange: ONE message per (rank, neighbour) pair."""
@@ -76,12 +108,17 @@ class HaloExchanger:
         if not names:
             return
         tracer = get_tracer()
+        self.exchange_epochs += 1
+        epoch = self.exchange_epochs
         msgs0, bytes0 = self.comm.stats.messages, self.comm.stats.bytes_sent
         with tracer.span(
-            "halo.exchange", SpanKind.HALO_EXCHANGE, n_vars=len(names)
+            "halo.exchange", SpanKind.HALO_EXCHANGE,
+            n_vars=len(names), epoch=epoch,
         ) as ex_span:
             # Phase 1: every rank packs and posts one buffer per neighbour.
-            with tracer.span("halo.pack", SpanKind.HALO_PACK, n_vars=len(names)):
+            with tracer.span(
+                "halo.pack", SpanKind.HALO_PACK, n_vars=len(names), epoch=epoch
+            ):
                 for sub in self.subdomains:
                     for nbr, send_idx in sub.send_cells.items():
                         chunks = []
@@ -89,11 +126,24 @@ class HaloExchanger:
                             arr = self._registry[name][sub.rank]
                             chunks.append(arr[send_idx].reshape(send_idx.size, -1))
                         packed = np.concatenate(chunks, axis=1)
+                        if tracer.enabled:
+                            tracer.instant(
+                                "halo.pack.pair", SpanKind.HALO_PACK,
+                                rank=sub.rank, neighbor=nbr, epoch=epoch,
+                            )
                         self.comm.send(sub.rank, nbr, packed, tag=0)
             # Phase 2: every rank drains its receives and unpacks.
-            with tracer.span("halo.unpack", SpanKind.HALO_UNPACK, n_vars=len(names)):
+            with tracer.span(
+                "halo.unpack", SpanKind.HALO_UNPACK,
+                n_vars=len(names), epoch=epoch,
+            ):
                 for sub in self.subdomains:
                     for nbr, recv_idx in sub.recv_cells.items():
+                        if tracer.enabled:
+                            tracer.instant(
+                                "halo.unpack.pair", SpanKind.HALO_UNPACK,
+                                rank=sub.rank, neighbor=nbr, epoch=epoch,
+                            )
                         packed = self.comm.recv(nbr, sub.rank, tag=0)
                         col = 0
                         for name in names:

@@ -46,6 +46,8 @@ class SpanKind(Enum):
     HALO_PACK = "halo_pack"
     HALO_EXCHANGE = "halo_exchange"
     HALO_UNPACK = "halo_unpack"
+    # parallel layer (rank executors)
+    EXEC_ROUND = "exec_round"     # one broadcast/reply barrier round
     # model timestep hierarchy
     DYN_STEP = "dyn_step"
     RK_STAGE = "rk_stage"
@@ -71,6 +73,7 @@ _CATEGORY = {
     SpanKind.HALO_PACK: "comm",
     SpanKind.HALO_EXCHANGE: "comm",
     SpanKind.HALO_UNPACK: "comm",
+    SpanKind.EXEC_ROUND: "parallel",
     SpanKind.DYN_STEP: "model",
     SpanKind.RK_STAGE: "model",
     SpanKind.VERTICAL_SOLVE: "model",

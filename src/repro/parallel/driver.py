@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.comm.message import Communicator
 from repro.dycore.solver import DycoreConfig, DynamicalCore, Tendencies
+from repro.obs import SpanKind, get_tracer
 from repro.dycore.state import ModelState
 from repro.dycore.vertical import VerticalCoordinate
 from repro.grid.mesh import Mesh
@@ -169,25 +170,56 @@ class DistributedDycore:
         ]
         for lm, st in zip(self.locals, states):
             nc, ne = lm.n_cells, lm.n_edges
+            r = lm.rank
             sh = RankState(
-                ps=arena.take((nc,)),
-                u=arena.take((ne, nlev)),
-                theta=arena.take((nc, nlev)),
-                phi_surface=arena.take((nc,)),
+                ps=arena.take((nc,), name=f"rank{r}.ps"),
+                u=arena.take((ne, nlev), name=f"rank{r}.u"),
+                theta=arena.take((nc, nlev), name=f"rank{r}.theta"),
+                phi_surface=arena.take((nc,), name=f"rank{r}.phi_surface"),
             )
             sh.ps[:] = st.ps
             sh.u[:] = st.u
             sh.theta[:] = st.theta
             sh.phi_surface[:] = st.phi_surface
             shared.append(sh)
-            for slot in slots:
-                slot.append(_TendencySlot(arena, nc, ne, nlev))
+            for k, slot in enumerate(slots):
+                slot.append(
+                    _TendencySlot(arena, nc, ne, nlev, name=f"rank{r}.slot{k}")
+                )
         return shared, slots
 
+    def arena_layout(self) -> dict:
+        """Byte extents of the shared arena's named slots.
+
+        ``{resource: (offset, nbytes)}`` straight from the arena's
+        recorded carving — the aliasing half of the race analyzer's
+        :class:`~repro.analysis.parallel_plan.ParallelPlan`.  Empty for
+        serial execution (no shared arena exists).
+        """
+        arena = getattr(self, "_arena", None)
+        return dict(arena.layout) if arena is not None else {}
+
+    def step_plan(self):
+        """The declared :class:`ParallelPlan` of one RK step.
+
+        Derived from the live components' annotations (compiled exchange
+        plans, arena layout, executor rounds); see
+        :func:`repro.analysis.races.build_step_plan`.
+        """
+        from repro.analysis.races import build_step_plan
+
+        return build_step_plan(self)
+
     def close(self) -> None:
-        """Reap worker processes (no-op for serial execution)."""
+        """Reap worker processes (no-op for serial execution).
+
+        Idempotent: the executor's finalizer runs at most once, and the
+        driver's own reference to the mmap arena is dropped so the
+        mapping can be reclaimed once the last field view dies.
+        """
         if self._executor is not None:
             self._executor.close()
+        self._arena = None
 
     def gather(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Reassemble global (ps, u, theta) from owned entities."""
@@ -244,26 +276,52 @@ class DistributedDycore:
         if self._states is None:
             raise RuntimeError("scatter a state first")
         dt = self.config.dt
-        saved = [
-            RankState(s.ps.copy(), s.u.copy(), s.theta.copy(), s.phi_surface)
-            for s in self._states
-        ]
+        tracer = get_tracer()
+        with tracer.span("driver.save", SpanKind.RK_STAGE, op="save"):
+            saved = [
+                RankState(s.ps.copy(), s.u.copy(), s.theta.copy(), s.phi_surface)
+                for s in self._states
+            ]
         t1 = self._tendencies_all()
         if self.config.rk_stages >= 3:
-            self._apply(saved, t1, dt)
+            with tracer.span(
+                "driver.apply", SpanKind.RK_STAGE, op="apply",
+                stage=1, slots=(0,),
+            ):
+                self._apply(saved, t1, dt)
             t2 = self._tendencies_all()
             half = self._combine([t1, t2], [0.5, 0.5])
-            self._apply(saved, half, 0.5 * dt)
+            with tracer.span(
+                "driver.apply", SpanKind.RK_STAGE, op="apply",
+                stage=2, slots=(0, 1),
+            ):
+                self._apply(saved, half, 0.5 * dt)
             t3 = self._tendencies_all()
             used = self._combine([t1, t2, t3], [1 / 6, 1 / 6, 2 / 3])
-            self._apply(saved, used, dt)
+            with tracer.span(
+                "driver.apply", SpanKind.RK_STAGE, op="apply",
+                stage=3, slots=(0, 1, 2),
+            ):
+                self._apply(saved, used, dt)
         elif self.config.rk_stages == 2:
-            self._apply(saved, t1, dt)
+            with tracer.span(
+                "driver.apply", SpanKind.RK_STAGE, op="apply",
+                stage=1, slots=(0,),
+            ):
+                self._apply(saved, t1, dt)
             t2 = self._tendencies_all()
             mean = self._combine([t1, t2], [0.5, 0.5])
-            self._apply(saved, mean, dt)
+            with tracer.span(
+                "driver.apply", SpanKind.RK_STAGE, op="apply",
+                stage=2, slots=(0, 1),
+            ):
+                self._apply(saved, mean, dt)
         else:
-            self._apply(saved, t1, dt)
+            with tracer.span(
+                "driver.apply", SpanKind.RK_STAGE, op="apply",
+                stage=1, slots=(0,),
+            ):
+                self._apply(saved, t1, dt)
         if self.config.sponge_levels > 0:
             # Refresh halos so the sponge's Laplacians see the same
             # neighbour values as the serial solver, then damp per rank.

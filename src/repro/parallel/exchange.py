@@ -131,6 +131,9 @@ class EdgeCellExchanger:
         #: Number of plan compilations (tests assert it stays at 1
         #: across repeated exchanges).
         self.plan_compilations = 0
+        #: Completed exchange rounds — the epoch the race analyzer's
+        #: pack/unpack clock edges are keyed on.
+        self.exchange_epochs = 0
 
     def register_cell(self, name: str, per_rank: list[np.ndarray]) -> None:
         self._check(per_rank, "cell")
@@ -278,6 +281,43 @@ class EdgeCellExchanger:
             self._compile_plans()
         return self._plans
 
+    # -- declarative annotations for the race analyzer ---------------------
+    def registered_fields(self) -> list[str]:
+        """Registered field names in wire order."""
+        return self._field_order()
+
+    def access_annotations(self) -> dict:
+        """Declared accesses of one exchange, per (rank, neighbour) pair.
+
+        Each entry names the persistent zero-copy wire buffer
+        (``xbuf.{rank}.{nbr}``) the pack writes and the matching unpack
+        on the neighbour reads, plus the per-field send (read) and recv
+        (write) first-axis index sets from the compiled plans.  This is
+        the ground truth :func:`repro.analysis.races.build_step_plan`
+        turns into PACK/UNPACK ops.
+        """
+        out: dict = {}
+        for (rank, nbr), plan in self.plans.items():
+            out[(rank, nbr)] = {
+                "buffer": f"xbuf.{rank}.{nbr}",
+                "sends": {s.name: s.idx.copy() for s in plan.send_slots},
+                "recvs": {s.name: s.idx.copy() for s in plan.recv_slots},
+            }
+        return out
+
+    def halo_recv_union(self) -> dict:
+        """Per (rank, field): the union of recv indices over neighbours."""
+        union: dict = {}
+        for (rank, _nbr), pair in self.access_annotations().items():
+            for name, idx in pair["recvs"].items():
+                union.setdefault((rank, name), set()).update(
+                    int(i) for i in idx
+                )
+        return {
+            key: np.array(sorted(s), dtype=np.int64)
+            for key, s in union.items()
+        }
+
     # -- the exchange ------------------------------------------------------
     def exchange(self) -> None:
         """One aggregated exchange: a single message per neighbour pair."""
@@ -289,17 +329,21 @@ class EdgeCellExchanger:
         if self._plans is None:
             self._compile_plans()
         registry = self._registry
-        plans = self._plans
         tracer = get_tracer()
         injector = get_injector()
         verify = injector is not None and injector.active
         n_vars = len(registry)
+        self.exchange_epochs += 1
+        epoch = self.exchange_epochs
         msgs0, bytes0 = self.comm.stats.messages, self.comm.stats.bytes_sent
         with tracer.span(
-            "exchange.edge_cell", SpanKind.HALO_EXCHANGE, n_vars=n_vars
+            "exchange.edge_cell", SpanKind.HALO_EXCHANGE,
+            n_vars=n_vars, epoch=epoch,
         ) as ex_span:
             # Pack & post: gather straight into the reusable wire buffer.
-            with tracer.span("exchange.pack", SpanKind.HALO_PACK, n_vars=n_vars):
+            with tracer.span(
+                "exchange.pack", SpanKind.HALO_PACK, n_vars=n_vars, epoch=epoch
+            ):
                 for rank, plan_list in enumerate(self._rank_plans):
                     for plan in plan_list:
                         for slot in plan.send_slots:
@@ -311,6 +355,15 @@ class EdgeCellExchanger:
                             self._send_crcs[(rank, plan.neighbor)] = payload_crc(
                                 plan.send_buffer
                             )
+                        if tracer.enabled:
+                            # Per-pair clock edge for the race sanitizer:
+                            # this pack happens-before the neighbour's
+                            # same-epoch unpack.
+                            tracer.instant(
+                                "exchange.pack.pair", SpanKind.HALO_PACK,
+                                rank=rank, neighbor=plan.neighbor,
+                                epoch=epoch,
+                            )
                         # Zero-copy handoff: the per-pair wire buffer is
                         # not repacked until after the matching recv of
                         # this same exchange has drained it.
@@ -320,10 +373,17 @@ class EdgeCellExchanger:
                         )
             # Drain & unpack: scatter each dtype-typed block in place.
             with tracer.span(
-                "exchange.unpack", SpanKind.HALO_UNPACK, n_vars=n_vars
+                "exchange.unpack", SpanKind.HALO_UNPACK,
+                n_vars=n_vars, epoch=epoch,
             ):
                 for rank, plan_list in enumerate(self._rank_plans):
                     for plan in plan_list:
+                        if tracer.enabled:
+                            tracer.instant(
+                                "exchange.unpack.pair", SpanKind.HALO_UNPACK,
+                                rank=rank, neighbor=plan.neighbor,
+                                epoch=epoch,
+                            )
                         if verify:
                             payload = self._recv_verified(plan, injector)
                         else:
@@ -400,6 +460,7 @@ class EdgeCellExchanger:
         float64).  Benchmark reference only."""
         names = list(self._registry)
         tracer = get_tracer()
+        self.exchange_epochs += 1
         msgs0, bytes0 = self.comm.stats.messages, self.comm.stats.bytes_sent
         with tracer.span(
             "exchange.edge_cell", SpanKind.HALO_EXCHANGE, n_vars=len(names)

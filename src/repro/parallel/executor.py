@@ -39,10 +39,12 @@ from __future__ import annotations
 
 import mmap
 import os
+import weakref
 
 import numpy as np
 
 from repro.dycore.solver import Tendencies
+from repro.obs import SpanKind, get_tracer
 
 
 class _ShmArena:
@@ -52,17 +54,25 @@ class _ShmArena:
     views taken before a fork are coherent between parent and children
     without named shared-memory segments or cleanup handlers beyond
     dropping the references.
+
+    Named takes record their byte extent in :attr:`layout`, which is the
+    arena half of the race analyzer's plan: two resources whose extents
+    overlap alias the same memory (RD001 even under different names).
     """
 
     def __init__(self, nbytes: int):
         self._mm = mmap.mmap(-1, max(nbytes, mmap.PAGESIZE))
         self._offset = 0
+        #: name -> (byte offset, byte length) of every named take().
+        self.layout: dict[str, tuple[int, int]] = {}
 
-    def take(self, shape: tuple[int, ...]) -> np.ndarray:
+    def take(self, shape: tuple[int, ...], name: str | None = None) -> np.ndarray:
         count = int(np.prod(shape, dtype=np.int64))
         view = np.frombuffer(
             self._mm, dtype=np.float64, count=count, offset=self._offset
         ).reshape(shape)
+        if name is not None:
+            self.layout[name] = (self._offset, count * 8)
         self._offset += count * 8
         return view
 
@@ -74,11 +84,16 @@ class _ShmArena:
 class _TendencySlot:
     """Shared-memory destination for one rank's Tendencies."""
 
-    def __init__(self, arena: _ShmArena, nc: int, ne: int, nlev: int):
-        self.ps = arena.take((nc,))
-        self.u = arena.take((ne, nlev))
-        self.theta_mass = arena.take((nc, nlev))
-        self.flux_edge = arena.take((ne, nlev))
+    def __init__(
+        self, arena: _ShmArena, nc: int, ne: int, nlev: int, name: str = ""
+    ):
+        def _n(comp: str) -> str | None:
+            return f"{name}.{comp}" if name else None
+
+        self.ps = arena.take((nc,), name=_n("ps"))
+        self.u = arena.take((ne, nlev), name=_n("u"))
+        self.theta_mass = arena.take((nc, nlev), name=_n("theta_mass"))
+        self.flux_edge = arena.take((ne, nlev), name=_n("flux_edge"))
 
     def store(self, td: Tendencies) -> None:
         self.ps[:] = td.ps
@@ -98,19 +113,34 @@ class SerialRankExecutor:
 
     workers = 1
 
+    #: Mirror of :attr:`ProcessRankExecutor.N_SLOTS` so the EXEC_ROUND
+    #: span metadata (slot cycling) is identical serial vs forked.
+    N_SLOTS = 3
+
     def __init__(self, cores: list, scratch: list):
         self._cores = cores
         self._scratch = scratch
+        self._next_slot = 0
 
     def compute_tendencies(self) -> list[Tendencies]:
-        return [
-            core.compute_tendencies(ms)
-            for core, ms in zip(self._cores, self._scratch)
-        ]
+        slot = self._next_slot
+        self._next_slot = (self._next_slot + 1) % self.N_SLOTS
+        with get_tracer().span(
+            "executor.round", SpanKind.EXEC_ROUND,
+            op="tend", slot=slot, workers=self.workers,
+        ):
+            return [
+                core.compute_tendencies(ms)
+                for core, ms in zip(self._cores, self._scratch)
+            ]
 
     def sponge(self, dt: float) -> None:
-        for core, ms in zip(self._cores, self._scratch):
-            core._apply_sponge(ms, dt)
+        with get_tracer().span(
+            "executor.round", SpanKind.EXEC_ROUND,
+            op="sponge", slot=None, workers=self.workers,
+        ):
+            for core, ms in zip(self._cores, self._scratch):
+                core._apply_sponge(ms, dt)
 
     def close(self) -> None:  # symmetric API; nothing to reap
         pass
@@ -149,6 +179,32 @@ def _worker_loop(conn, ranks, cores, scratch, slots) -> None:
             pass
 
 
+def _reap_workers(conns: list, procs: list) -> None:
+    """Stop and join worker processes; close the command pipes.
+
+    Module-level (no ``self``) so :func:`weakref.finalize` can hold it
+    without keeping the executor alive.  Safe to call with already-dead
+    workers or closed pipes — every per-connection failure is swallowed,
+    the join/terminate ladder still runs.
+    """
+    for conn, proc in zip(conns, procs):
+        try:
+            if proc.is_alive():
+                conn.send(("stop",))
+                conn.recv()
+        except (BrokenPipeError, EOFError, OSError):
+            pass
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+    for proc in procs:
+        proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover - defensive
+            proc.terminate()
+            proc.join(timeout=1.0)
+
+
 class ProcessRankExecutor:
     """Step ranks on persistent forked workers over shared memory.
 
@@ -157,6 +213,12 @@ class ProcessRankExecutor:
     Ranks are dealt round-robin across ``workers`` processes; each
     tendency call broadcasts one command and waits for all workers — a
     barrier matching the serial loop's completion semantics.
+
+    Lifecycle: worker reaping is owned by a :func:`weakref.finalize`
+    finalizer, which Python guarantees to run at most once — so
+    :meth:`close` is idempotent, ``__del__``-time cleanup can never
+    double-close a pipe, and workers are reaped at interpreter exit
+    (finalizers run atexit) even if nobody called :meth:`close`.
     """
 
     #: RK3 holds t1/t2/t3 simultaneously; slots cycle per tendency call.
@@ -186,8 +248,15 @@ class ProcessRankExecutor:
             child.close()
             self._conns.append(parent)
             self._procs.append(proc)
+        # The finalizer owns cleanup: runs at most once, whether through
+        # close(), garbage collection, or interpreter exit (atexit).
+        self._finalizer = weakref.finalize(
+            self, _reap_workers, self._conns, self._procs
+        )
 
     def _broadcast(self, msg: tuple) -> None:
+        if not self._finalizer.alive:
+            raise RuntimeError("executor is closed")
         for conn in self._conns:
             conn.send(msg)
         errors = []
@@ -201,31 +270,24 @@ class ProcessRankExecutor:
     def compute_tendencies(self) -> list[Tendencies]:
         slot = self._next_slot
         self._next_slot = (self._next_slot + 1) % self.N_SLOTS
-        self._broadcast(("tend", slot))
+        with get_tracer().span(
+            "executor.round", SpanKind.EXEC_ROUND,
+            op="tend", slot=slot, workers=self.workers,
+        ):
+            self._broadcast(("tend", slot))
         return [self._slots[slot][r].view() for r in range(self._nranks)]
 
     def sponge(self, dt: float) -> None:
-        self._broadcast(("sponge", dt))
+        with get_tracer().span(
+            "executor.round", SpanKind.EXEC_ROUND,
+            op="sponge", slot=None, workers=self.workers,
+        ):
+            self._broadcast(("sponge", dt))
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
 
     def close(self) -> None:
-        for conn, proc in zip(self._conns, self._procs):
-            try:
-                if proc.is_alive():
-                    conn.send(("stop",))
-                    conn.recv()
-            except (BrokenPipeError, EOFError, OSError):
-                pass
-            conn.close()
-        for proc in self._procs:
-            proc.join(timeout=5.0)
-            if proc.is_alive():  # pragma: no cover - defensive
-                proc.terminate()
-                proc.join(timeout=1.0)
-        self._conns = []
-        self._procs = []
-
-    def __del__(self):  # pragma: no cover - best-effort cleanup
-        try:
-            self.close()
-        except Exception:
-            pass
+        """Reap the workers.  Idempotent: later calls are no-ops."""
+        self._finalizer()

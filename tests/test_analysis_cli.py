@@ -58,6 +58,52 @@ class TestLintAll:
         assert static_only["summary"]["strict_ok"]
 
 
+class TestParallelLint:
+    @pytest.fixture(scope="class")
+    def par_result(self):
+        return lint_all(sanitize=True, parallel=True)
+
+    def test_real_step_plan_clean(self, par_result):
+        assert par_result["parallel"]["step_plan"]["n_error"] == 0
+
+    def test_race_corpus_all_expected_found(self, par_result):
+        par = par_result["parallel"]["race_corpus"]
+        assert par["all_expected_found"]
+        for case in par["cases"]:
+            assert case["ok"], case["name"]
+
+    def test_dynamic_run_clean(self, par_result):
+        dyn = par_result["parallel"]["dynamic_run"]
+        assert dyn is not None
+        assert dyn["clean"] is True
+        assert dyn["ops"] > 0
+
+    def test_strict_ok_folds_in_parallel(self, par_result):
+        assert par_result["parallel"]["ok"]
+        assert par_result["summary"]["strict_ok"]
+
+    def test_json_has_schema_version_and_parallel_section(self, par_result):
+        blob = to_json(par_result)
+        assert blob["schema_version"] == 2
+        assert list(blob)[0] == "schema_version"
+        rules = {d["rule"] for c in blob["parallel"]["race_corpus"]["cases"]
+                 for d in c["diagnostics"]}
+        assert {f"RD00{k}" for k in range(1, 6)} <= rules
+
+    def test_json_is_stable_across_runs(self):
+        """Machine-comparable CI diffs: two independent lints serialize
+        byte-identically (stable rule ordering, no wall-clock fields)."""
+        a = json.dumps(to_json(lint_all(sanitize=False)), sort_keys=False)
+        b = json.dumps(to_json(lint_all(sanitize=False)), sort_keys=False)
+        assert a == b
+
+    def test_human_report_mentions_parallel_sections(self, par_result):
+        text = render_human(par_result)
+        assert "parallel step plan" in text
+        assert "known-racy corpus" in text
+        assert "dynamic run" in text
+
+
 class TestCliLint:
     def test_lint_human(self, capsys):
         assert main(["lint"]) == 0
@@ -69,6 +115,13 @@ class TestCliLint:
         assert main(["lint", "--json", "--strict"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["summary"]["strict_ok"] is True
+
+    def test_lint_parallel_strict(self, capsys):
+        assert main(["lint", "--strict", "--parallel", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 2
+        assert payload["parallel"]["ok"] is True
+        assert payload["parallel"]["dynamic_run"]["clean"] is True
 
     def test_lint_no_sanitize(self, capsys):
         assert main(["lint", "--no-sanitize", "--json"]) == 0
@@ -82,8 +135,8 @@ class TestCliLint:
 
         real = report.lint_all
 
-        def degraded(sanitize=True):
-            result = real(sanitize=sanitize)
+        def degraded(sanitize=True, parallel=False):
+            result = real(sanitize=sanitize, parallel=parallel)
             result["corpus"]["all_expected_found"] = False
             result["summary"]["strict_ok"] = False
             return result

@@ -73,7 +73,14 @@ class TestIndexLanguage:
 
 class TestRuleCatalog:
     def test_seven_stable_rule_ids(self):
-        assert sorted(RULES) == [f"SW00{k}" for k in range(1, 8)]
+        assert sorted(r for r in RULES if r.startswith("SW")) == [
+            f"SW00{k}" for k in range(1, 8)
+        ]
+
+    def test_five_stable_rd_rule_ids(self):
+        assert sorted(r for r in RULES if r.startswith("RD")) == [
+            f"RD00{k}" for k in range(1, 6)
+        ]
 
     def test_default_severity_from_rule(self):
         assert Diagnostic(rule="SW001", message="m").severity is Severity.ERROR

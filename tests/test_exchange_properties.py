@@ -141,3 +141,85 @@ def test_plan_reuse_never_recompiles_nor_reallocates(mesh_g1, seed):
         ex.replace(name, [a.astype(np.float64) for a in per_rank])
         ex.exchange()
         assert ex.plan_compilations == 2
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_replace_keeps_race_annotations_and_verdicts_stable(mesh_g1, seed):
+    """Race-annotation property: ``replace()`` with a same-layout array
+    must recompile nothing, leave ``access_annotations()`` (the index
+    sets the RD analyzer reasons over) byte-identical, and therefore
+    keep the RD002/RD003 verdicts of a plan built from them unchanged
+    mid-run."""
+    from repro.analysis.parallel_plan import (
+        DRIVER,
+        Access,
+        OpKind,
+        ParallelPlan,
+        PlanOp,
+    )
+    from repro.analysis.race_sanitizer import RaceSanitizer
+    from repro.analysis.races import analyze_parallel_plan
+
+    def snapshot(ex):
+        out = {}
+        for pair, ann in ex.access_annotations().items():
+            out[pair] = (
+                ann["buffer"],
+                {f: tuple(idx) for f, idx in ann["sends"].items()},
+                {f: tuple(idx) for f, idx in ann["recvs"].items()},
+            )
+        return out
+
+    def racy_plan(ex):
+        """A halo read racing its unpack plus an in-flight repack, built
+        from the exchanger's own annotations."""
+        (rank, nbr), ann = sorted(ex.access_annotations().items())[0]
+        peer = ex.access_annotations()[(nbr, rank)]
+        fname = sorted(ann["recvs"])[0]
+        recv_idx = ann["recvs"][fname]
+        ops = [
+            PlanOp(name="e1.pack", kind=OpKind.PACK, lane=DRIVER, epoch=1,
+                   accesses=[Access(peer["buffer"], mode="w")]),
+            PlanOp(name="e1.unpack", kind=OpKind.UNPACK, lane=DRIVER,
+                   epoch=1,
+                   accesses=[Access(peer["buffer"], mode="r"),
+                             Access(f"rank{rank}.{fname}", mode="w",
+                                    indices=recv_idx)]),
+            # Concurrent consumer: no barrier separates it.
+            PlanOp(name="tend", kind=OpKind.COMPUTE, lane=rank,
+                   accesses=[Access(f"rank{rank}.{fname}", mode="r")]),
+            # Next epoch's repack with no drain edge.
+            PlanOp(name="e2.pack", kind=OpKind.PACK, lane=0, epoch=2,
+                   accesses=[Access(peer["buffer"], mode="w")]),
+        ]
+        return ParallelPlan(
+            name="mid_run", ops=ops, edges=[("e1.pack", "e1.unpack")],
+            halo_recv={f"rank{rank}.{fname}": recv_idx},
+        )
+
+    def verdicts(ex):
+        plan = racy_plan(ex)
+        diags = RaceSanitizer().verify(plan, analyze_parallel_plan(plan))
+        return sorted((d.rule, d.verdict) for d in diags)
+
+    rng = np.random.default_rng(seed)
+    locals_ = _locals(mesh_g1, 2)
+    fields = _random_fields(rng, n_fields=3)
+    ex, arrays, _ = _build(mesh_g1, locals_, fields, rng)
+    ex.exchange()
+
+    before_ann = snapshot(ex)
+    before = verdicts(ex)
+    rules = {r for r, _ in before}
+    assert {"RD002", "RD003"} <= rules
+    assert all(v == "CONFIRMED" for _, v in before)
+
+    # Mid-run same-layout replacement: nothing recompiles, the
+    # annotations and the verdicts are bitwise stable.
+    compilations = ex.plan_compilations
+    name, (kind, per_rank) = next(iter(arrays.items()))
+    ex.replace(name, [a.copy() for a in per_rank])
+    ex.exchange()
+    assert ex.plan_compilations == compilations
+    assert snapshot(ex) == before_ann
+    assert verdicts(ex) == before

@@ -98,6 +98,49 @@ class TestExecutorLifecycle:
         d.close()
         assert all(not p.is_alive() for p in procs)
 
+    def test_close_is_idempotent(self, mesh, vc):
+        """Satellite contract: close() any number of times, through the
+        driver or the executor, never double-closes a pipe."""
+        d = DistributedDycore(
+            mesh, vc, DycoreConfig(dt=600.0), nparts=4, workers=2
+        )
+        d.scatter(baroclinic_wave_state(mesh, vc))
+        ex = d._executor
+        assert not ex.closed
+        d.close()
+        assert ex.closed
+        d.close()          # second driver close: no-op
+        ex.close()         # direct executor close after the fact: no-op
+        assert ex.closed
+
+    def test_broadcast_after_close_raises(self, mesh, vc):
+        d = DistributedDycore(
+            mesh, vc, DycoreConfig(dt=600.0), nparts=4, workers=2
+        )
+        d.scatter(baroclinic_wave_state(mesh, vc))
+        ex = d._executor
+        d.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            ex.compute_tendencies()
+
+    def test_finalizer_reaps_workers_on_gc(self, mesh, vc):
+        """Dropping the last reference must reap the fork set exactly
+        once (weakref.finalize), with no __del__ double-close."""
+        import gc
+
+        d = DistributedDycore(
+            mesh, vc, DycoreConfig(dt=600.0), nparts=4, workers=2
+        )
+        d.scatter(baroclinic_wave_state(mesh, vc))
+        procs = list(d._executor._procs)
+        assert all(p.is_alive() for p in procs)
+        d._executor = None
+        gc.collect()
+        for p in procs:
+            p.join(timeout=10.0)
+        assert all(not p.is_alive() for p in procs)
+        d.close()
+
     def test_rescatter_replaces_workers(self, mesh, vc):
         """scatter() on a live parallel driver reaps the old fork set
         (which snapshotted the previous arena) and forks a fresh one."""
