@@ -1,0 +1,289 @@
+"""Serving-layer load benchmark: throughput, tail latency, cache speedup.
+
+Drives the :mod:`repro.serve` forecast service the way a client fleet
+would — N concurrent tiny-grid requests through one in-process
+:class:`~repro.serve.scheduler.ForecastScheduler` — and records, per
+simulated client count:
+
+* **cold phase** — every request a distinct config (all cache misses):
+  requests/sec, p50/p99 latency, pool build/reuse accounting;
+* **warm phase** — the same requests resubmitted (all cache hits):
+  requests/sec, p50/p99, and the cold/warm throughput ratio the
+  regression gate tracks;
+* **correctness booleans** (absolute gates, never ratio-compared):
+  every submission resolved exactly once, zero dropped or duplicated
+  responses, every status ``ok``, every warm response a cache hit, and
+  a sampled response bitwise identical to the serial single-model
+  oracle (:func:`~repro.serve.scheduler.run_serial_oracle`).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py          # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --tiny   # CI smoke
+
+CI regression gate: ``--check BENCH_serve.json`` compares the
+machine-independent cache speedup ratio against the committed baseline
+(same-named profile only) and fails on a >4x collapse or any broken
+correctness boolean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+# Standalone execution (`python benchmarks/bench_serve.py`) puts only
+# the benchmarks/ directory on sys.path; make the repo root importable.
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT) not in sys.path:
+    sys.path.insert(0, str(_ROOT))
+
+from benchmarks._util import print_header
+from repro.serve import (
+    ForecastRequest,
+    ForecastScheduler,
+    ModelPool,
+    ResultCache,
+    run_serial_oracle,
+)
+
+SCHEMA = "bench_serve/1"
+
+
+def _requests(n_clients: int, level: int, nlev: int, steps: int,
+              scheme: str) -> list[ForecastRequest]:
+    """One request per simulated client, each a distinct config (seed)."""
+    return [
+        ForecastRequest(level=level, nlev=nlev, steps=steps,
+                        seed=seed, scheme=scheme)
+        for seed in range(n_clients)
+    ]
+
+
+def _submit_wave(sched: ForecastScheduler, requests) -> tuple[list, float]:
+    """Submit every request at once, wait for all; returns results+wall."""
+    t0 = time.perf_counter()
+    jobs = sched.map(requests)
+    results = [j.result() for j in jobs]
+    return results, time.perf_counter() - t0
+
+
+def _phase_stats(results: list, wall: float) -> dict:
+    lat = sorted(res.wall_seconds for res in results)
+    return {
+        "requests": len(results),
+        "wall_seconds": wall,
+        "requests_per_second": len(results) / wall if wall > 0 else 0.0,
+        "statuses": {
+            s: sum(1 for r in results if r.status == s)
+            for s in ("ok", "error", "cancelled")
+        },
+        "run_seconds_p50": lat[len(lat) // 2] if lat else 0.0,
+        "run_seconds_max": lat[-1] if lat else 0.0,
+    }
+
+
+def bench_load(n_clients: int, level: int, nlev: int, steps: int,
+               scheme: str, workers: int, pool_size: int) -> dict:
+    """One client-count point: cold wave, warm wave, correctness audit."""
+    requests = _requests(n_clients, level, nlev, steps, scheme)
+    pool = ModelPool(max_models=pool_size)
+    # The cache must hold the cold wave's working set, or the warm wave
+    # re-executes evicted entries and measures nothing.
+    cache = ResultCache(capacity=max(2 * n_clients, 256))
+    with ForecastScheduler(max_workers=workers, pool=pool,
+                           cache=cache) as sched:
+        cold_results, cold_wall = _submit_wave(sched, requests)
+        warm_results, warm_wall = _submit_wave(sched, requests)
+        stats = sched.stats()
+
+    lat = stats["latency"]
+    # Correctness audit -- absolute gates.
+    n = len(requests)
+    resolved_once = (
+        stats["submitted"] == 2 * n
+        and stats["completed"] + stats["errors"] + stats["cancellations"]
+        == 2 * n
+    )
+    cold_keys = [r.key for r in cold_results]
+    no_duplicates = len(set(cold_keys)) == n
+    all_ok = all(r.ok for r in cold_results + warm_results)
+    warm_all_hits = all(r.cache_hit for r in warm_results)
+    hit_byte_identical = all(
+        w.digest() == c.digest()
+        for w, c in zip(warm_results, cold_results)
+    )
+    # Bitwise-vs-oracle sample: one request re-run on a fresh model with
+    # no pool, no batching, no cache.
+    sample = requests[n // 2]
+    oracle = run_serial_oracle(sample)
+    sampled = next(r for r in cold_results if r.key == sample.cache_key())
+    oracle_bitwise = sampled.digest() == oracle.digest()
+
+    return {
+        "clients": n_clients,
+        "level": level,
+        "nlev": nlev,
+        "steps": steps,
+        "scheme": scheme,
+        "workers": workers,
+        "pool_size": pool_size,
+        "cold": _phase_stats(cold_results, cold_wall),
+        "warm": _phase_stats(warm_results, warm_wall),
+        "cache_speedup": cold_wall / warm_wall if warm_wall > 0 else 0.0,
+        "latency_p50_seconds": lat["p50_seconds"],
+        "latency_p99_seconds": lat["p99_seconds"],
+        "pool": {k: stats["pool"][k]
+                 for k in ("built", "reused", "recycled", "evicted")},
+        "cache": {k: stats["cache"][k] for k in ("hits", "misses", "puts")},
+        "correct": {
+            "resolved_exactly_once": bool(resolved_once),
+            "no_duplicates": bool(no_duplicates),
+            "all_ok": bool(all_ok),
+            "warm_all_cache_hits": bool(warm_all_hits),
+            "hit_byte_identical": bool(hit_byte_identical),
+            "oracle_bitwise": bool(oracle_bitwise),
+        },
+    }
+
+
+# -- driver ----------------------------------------------------------------
+
+def run(tiny: bool) -> dict:
+    """One measurement profile (``tiny`` or ``full``).
+
+    Throughput and the cache speedup are size-dependent (more clients
+    amortise pool builds further), so the regression gate always
+    compares a profile against the *same-named* profile in the baseline
+    — the committed baseline carries both.
+    """
+    if tiny:
+        client_counts = [10, 100]
+        level, nlev, steps = 3, 8, 6
+    else:
+        client_counts = [10, 100, 1000]
+        level, nlev, steps = 3, 8, 12
+
+    host_cpus = (
+        len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else (os.cpu_count() or 1)
+    )
+    workers = min(8, max(2, host_cpus))
+    results = {
+        "host_cpus": host_cpus,
+        "workers": workers,
+        "points": {},
+    }
+    print_header(
+        f"SERVE — load (G{level}, nlev {nlev}, {steps} steps, "
+        f"{workers} workers, {host_cpus} host cpu(s))"
+    )
+    for n in client_counts:
+        point = bench_load(
+            n, level=level, nlev=nlev, steps=steps,
+            scheme="DP-PHY", workers=workers, pool_size=workers,
+        )
+        results["points"][str(n)] = point
+        ok = all(point["correct"].values())
+        print(f"{n:5d} clients: cold {point['cold']['requests_per_second']:8.1f} req/s  "
+              f"warm {point['warm']['requests_per_second']:9.1f} req/s  "
+              f"cache speedup {point['cache_speedup']:7.1f}x  "
+              f"p50 {point['latency_p50_seconds'] * 1e3:7.1f} ms  "
+              f"p99 {point['latency_p99_seconds'] * 1e3:7.1f} ms  "
+              f"correct {ok}")
+    return results
+
+
+def _check_profile(res: dict, base: dict, tag: str,
+                   factor: float) -> list[str]:
+    """Compare one measurement profile against its baseline twin."""
+    failures: list[str] = []
+    for n, point in res["points"].items():
+        for name, value in point["correct"].items():
+            if not value:
+                failures.append(
+                    f"{tag} clients={n}: correctness gate {name!r} broken"
+                )
+        base_point = base.get("points", {}).get(n)
+        if base_point is None:
+            continue
+        got, want = point["cache_speedup"], base_point["cache_speedup"]
+        if got < want / factor:
+            failures.append(
+                f"{tag} clients={n}: cache speedup {got:.1f}x < "
+                f"baseline {want:.1f}x / {factor}"
+            )
+    return failures
+
+
+def check_regression(results: dict, baseline_path: str,
+                     factor: float = 4.0) -> list[str]:
+    """Compare against the committed baseline.
+
+    Absolute throughput and latency are machine-dependent and only
+    *recorded*; the gate enforces the correctness booleans absolutely
+    and the cold/warm cache speedup — a ratio of two in-process
+    measurements on the same data — within ``factor`` of the baseline's
+    same-named profile.
+    """
+    baseline = json.loads(Path(baseline_path).read_text())
+    failures: list[str] = []
+    compared = 0
+    for name, res in results["profiles"].items():
+        base = baseline.get("profiles", {}).get(name)
+        if base is None:
+            continue
+        compared += 1
+        failures.extend(_check_profile(res, base, name, factor))
+    if compared == 0:
+        failures.append(
+            f"no profile in {sorted(results['profiles'])} has a baseline "
+            f"twin in {baseline_path}"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--tiny", action="store_true",
+                    help="run only the small smoke profile (CI)")
+    ap.add_argument("--out", default="BENCH_serve.json",
+                    help="output JSON path")
+    ap.add_argument("--check", metavar="BASELINE",
+                    help="fail if the cache speedup collapsed >4x against "
+                         "this committed baseline or any correctness "
+                         "boolean broke")
+    args = ap.parse_args(argv)
+
+    results = {
+        "schema": SCHEMA,
+        "generated_unix": time.time(),
+        "profiles": {},
+    }
+    if args.tiny:
+        results["profiles"]["tiny"] = run(tiny=True)
+    else:
+        # The committed baseline carries both profiles so the CI tiny
+        # run always has a like-for-like twin to compare against.
+        results["profiles"]["full"] = run(tiny=False)
+        results["profiles"]["tiny"] = run(tiny=True)
+    Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if args.check:
+        failures = check_regression(results, args.check)
+        if failures:
+            for f in failures:
+                print(f"REGRESSION: {f}", file=sys.stderr)
+            return 1
+        print("regression check against committed baseline: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

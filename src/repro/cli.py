@@ -14,7 +14,11 @@ without writing any Python:
 * ``profile``   — instrumented run: spans, metrics, Chrome trace, and
   the predicted-vs-traced kernel reconciliation;
 * ``chaos``     — fault-injected integration under a named plan:
-  survival, recovery accounting, drift vs the fault-free twin.
+  survival, recovery accounting, drift vs the fault-free twin;
+* ``serve``     — forecast-as-a-service load run: concurrent requests
+  through the scheduler/pool/cache, with throughput, p50/p99 latency,
+  cache and batching accounting (optionally poisoning some requests to
+  demonstrate per-request fault isolation).
 """
 
 from __future__ import annotations
@@ -196,6 +200,107 @@ def _cmd_chaos(args) -> int:
     return 0 if report["survived"] else 1
 
 
+def _cmd_serve(args) -> int:
+    import json
+    import time
+
+    from repro.obs import MetricsRegistry, Tracer, collecting, set_tracer
+    from repro.serve import ForecastRequest, ForecastScheduler, ModelPool
+
+    requests = [
+        ForecastRequest(
+            level=args.level, nlev=args.nlev, steps=args.steps,
+            scenario=args.scenario, ensemble_size=args.ensemble,
+            seed=args.seed + (i % args.distinct), scheme=args.scheme,
+        )
+        for i in range(args.requests)
+    ]
+    tracer = Tracer(enabled=True) if args.trace_out else None
+    prev_tracer = set_tracer(tracer) if tracer is not None else None
+    try:
+        with collecting(MetricsRegistry(enabled=True)) as metrics:
+            pool = ModelPool(
+                max_models=args.pool, batch_ml=not args.no_batch,
+            )
+            t0 = time.perf_counter()
+            with ForecastScheduler(max_workers=args.workers, pool=pool) as sched:
+                jobs = []
+                for i, req in enumerate(requests):
+                    if i < args.poison:
+                        jobs.append(sched.submit(req, fault_plan=args.poison_plan))
+                    else:
+                        jobs.append(sched.submit(req))
+                results = [j.result() for j in jobs]
+                wall = time.perf_counter() - t0
+                stats = sched.stats()
+        snapshot = metrics.snapshot()
+    finally:
+        if prev_tracer is not None:
+            set_tracer(prev_tracer)
+    if args.trace_out:
+        tracer.write_chrome_trace(args.trace_out)
+
+    poisoned = results[: args.poison]
+    clean = results[args.poison:]
+    report = {
+        "requests": len(results),
+        "distinct_configs": args.distinct,
+        "workers": args.workers,
+        "pool_size": args.pool,
+        "wall_seconds": wall,
+        "requests_per_second": len(results) / wall if wall > 0 else 0.0,
+        "statuses": {
+            s: sum(1 for r in results if r.status == s)
+            for s in ("ok", "error", "cancelled")
+        },
+        "poisoned": {
+            "count": args.poison,
+            "plan": args.poison_plan if args.poison else None,
+            "errored_in_isolation": all(
+                r.status == "error" and r.error and r.error.code == "FAULT"
+                for r in poisoned
+            ) if args.poison else None,
+        },
+        "scheduler": stats,
+        "serve_metrics": {
+            k: v for k, v in snapshot["counters"].items()
+            if k.startswith("serve.")
+        },
+    }
+    clean_ok = all(r.ok for r in clean)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        lat = stats["latency"]
+        print(f"served {report['requests']} requests "
+              f"({args.distinct} distinct) on {args.workers} workers, "
+              f"pool {args.pool}: {report['statuses']}")
+        print(f"  {report['requests_per_second']:8.1f} req/s   "
+              f"p50 {lat['p50_seconds'] * 1e3:7.1f} ms   "
+              f"p99 {lat['p99_seconds'] * 1e3:7.1f} ms")
+        c = stats["cache"]
+        p = stats["pool"]
+        print(f"  cache: {c['hits']} hits / {c['misses']} misses   "
+              f"pool: built {p['built']}, reused {p['reused']}, "
+              f"recycled {p['recycled']}")
+        for key, nets in p["batchers"].items():
+            for name, b in nets.items():
+                print(f"  batcher {name}: stacking={b['stacking']} "
+                      f"mean batch {b['mean_batch_size']:.2f} "
+                      f"({b['stacked_items']}/{b['items']} stacked)")
+        if args.poison:
+            print(f"  poisoned {args.poison} request(s) with plan "
+                  f"{args.poison_plan!r}: isolated errors = "
+                  f"{report['poisoned']['errored_in_isolation']}")
+        if args.trace_out:
+            print(f"Chrome trace written to {args.trace_out}")
+    if not clean_ok:
+        return 1
+    if args.poison and not report["poisoned"]["errored_in_isolation"]:
+        return 1
+    return 0
+
+
 def _cmd_profile(args) -> int:
     import json
 
@@ -344,6 +449,43 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--trace-out", default=None,
                     help="write the Chrome trace-event JSON here")
     sp.set_defaults(func=_cmd_chaos)
+
+    sp = sub.add_parser(
+        "serve",
+        help="forecast-as-a-service load run: concurrent requests through "
+             "the scheduler, warm-model pool, and result cache",
+    )
+    sp.add_argument("--requests", type=int, default=32,
+                    help="total requests to submit")
+    sp.add_argument("--distinct", type=int, default=8,
+                    help="distinct request configs (seeds); the rest are "
+                         "repeats that exercise the result cache")
+    sp.add_argument("--workers", type=int, default=4,
+                    help="scheduler worker threads")
+    sp.add_argument("--pool", type=int, default=4,
+                    help="warm model pool capacity")
+    sp.add_argument("--level", type=int, default=3)
+    sp.add_argument("--nlev", type=int, default=8)
+    sp.add_argument("--steps", type=int, default=12)
+    sp.add_argument("--scheme", default="DP-PHY",
+                    help="Table 3 scheme (DP-PHY, MIX-PHY, DP-ML, MIX-ML)")
+    sp.add_argument("--scenario", default="tropical",
+                    choices=("tropical", "baroclinic"))
+    sp.add_argument("--ensemble", type=int, default=1,
+                    help="ensemble members per request")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--no-batch", action="store_true",
+                    help="disable cross-request ML inference batching")
+    sp.add_argument("--poison", type=int, default=0,
+                    help="inject a fault plan into the first N requests to "
+                         "demonstrate per-request isolation")
+    sp.add_argument("--poison-plan", default="smoke",
+                    help="named fault plan for --poison (smoke, storm)")
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable JSON instead of the summary")
+    sp.add_argument("--trace-out", default=None,
+                    help="write the Chrome trace-event JSON here")
+    sp.set_defaults(func=_cmd_serve)
 
     sp = sub.add_parser(
         "profile",

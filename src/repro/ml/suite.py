@@ -66,6 +66,65 @@ class MLPhysicsSuite:
                 if hasattr(net, "compile_inference"):
                     net.compile_inference(precision.ns)
 
+    @classmethod
+    def seeded(
+        cls,
+        mesh,
+        vcoord,
+        surface: SurfaceModel,
+        seed: int = 0,
+        width: int = 16,
+        n_resunits: int = 2,
+        config: MLSuiteConfig | None = None,
+        precision: PrecisionPolicy | None = None,
+    ) -> "MLPhysicsSuite":
+        """A deterministic, ready-to-run suite with untrained networks.
+
+        Weight init and normalizer statistics both come from
+        ``default_rng(seed)`` over synthetic profiles spanning the
+        coupler's variable ranges, so two processes building the same
+        ``(seed, width, n_resunits, nlev)`` suite predict bit-identical
+        tendencies.  The serving layer uses this as the warm-pool ML
+        physics when no trained suite is registered: the tendency cap
+        and moisture clips in :meth:`compute_from_coupler` keep the
+        untrained predictions physically bounded.
+        """
+        nlev = vcoord.nlev
+        rng = np.random.default_rng([seed, nlev, width, n_resunits])
+        n_fit = 64
+        tn = TendencyCNN(nlev, width=width, n_resunits=n_resunits, seed=seed)
+        x = np.stack(
+            [
+                rng.normal(0.0, 10.0, size=(n_fit, nlev)),       # u
+                rng.normal(0.0, 10.0, size=(n_fit, nlev)),       # v
+                rng.normal(270.0, 25.0, size=(n_fit, nlev)),     # t
+                np.abs(rng.normal(0.0, 5e-3, size=(n_fit, nlev))),  # q
+                rng.uniform(2e4, 1e5, size=(n_fit, nlev)),       # p
+            ],
+            axis=1,
+        )
+        y = rng.normal(0.0, 2e-5, size=(n_fit, 2, nlev))         # Q1/Q2 [K/s]
+        tn.fit_normalizers(x, y)
+        rn = RadiationMLP(nlev, width=width, seed=seed + 1)
+        xr = rn.pack_inputs(
+            rng.normal(270.0, 25.0, size=(n_fit, nlev)),
+            np.abs(rng.normal(0.0, 5e-3, size=(n_fit, nlev))),
+            rng.normal(295.0, 10.0, size=n_fit),
+            rng.uniform(0.0, 1.0, size=n_fit),
+        )
+        yr = np.stack(
+            [
+                np.abs(rng.normal(300.0, 120.0, size=n_fit)),    # gsw
+                np.abs(rng.normal(350.0, 60.0, size=n_fit)),     # glw
+            ],
+            axis=1,
+        )
+        rn.fit_normalizers(xr, yr)
+        return cls(
+            mesh, vcoord, surface, tn, rn,
+            config=config, precision=precision,
+        )
+
     def compute_from_coupler(self, state, fields: CouplingFields) -> PhysicsTendencies:
         """Suite evaluation from the coupling interface's variable set."""
         cfg = self.config

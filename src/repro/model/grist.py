@@ -111,6 +111,88 @@ class GristModel:
         #: harness's checkpoint/rollback ladder.  Off by default: the
         #: check costs a reduction over the state per step.
         self.validate_state = validate_state
+        #: Bit-exact image of every mutable side store at construction —
+        #: what :meth:`reset` restores so a warm model can be reused
+        #: across forecast requests as if freshly built.
+        self._pristine = self.snapshot_mutable()
+
+    # -- mutable-state snapshot/restore (rollback + warm reuse) ----------
+    def _physics_suites(self) -> list:
+        """Every underlying suite, unwrapping a resilience wrapper."""
+        phys = self.physics
+        if hasattr(phys, "primary"):
+            return [
+                s for s in (phys.primary, getattr(phys, "fallback", None))
+                if s is not None
+            ]
+        return [phys]
+
+    def snapshot_mutable(self) -> dict:
+        """Bit-exact copy of every mutable side store outside the state.
+
+        The payload pairs with a :meth:`ModelState.copy` to make a full
+        checkpoint: the dycore's step counter and tracer-window flux
+        accumulator, the surface slab and its history, the run history
+        lengths, and each physics suite's radiation-cadence counters.
+        Leaving any of these out desynchronises a restored run from a
+        straight-through one (found the hard way by the rollback bitwise
+        tests).
+        """
+        phys = [
+            (
+                getattr(s, "_step", 0),
+                getattr(s, "_cached_rad", None),
+                {
+                    k: len(v)
+                    for k, v in getattr(s, "history", {}).items()
+                    if isinstance(v, list)
+                },
+            )
+            for s in self._physics_suites()
+        ]
+        return {
+            "dyn_steps": self._dyn_steps,
+            "dycore_steps": self.dycore._steps,
+            "flux_sum": self.dycore.flux_acc._sum.copy(),
+            "flux_steps": self.dycore.flux_acc._steps,
+            "t_land": self.surface.t_land.copy(),
+            "surface_history": len(self.surface.history),
+            "run_history": len(self.history.times),
+            "physics": phys,
+        }
+
+    def restore_mutable(self, payload: dict) -> None:
+        """Restore a :meth:`snapshot_mutable` payload (bit-exact)."""
+        self._dyn_steps = payload["dyn_steps"]
+        self.dycore._steps = payload["dycore_steps"]
+        self.dycore.flux_acc._sum[:] = payload["flux_sum"]
+        self.dycore.flux_acc._steps = payload["flux_steps"]
+        self.surface.t_land[:] = payload["t_land"]
+        del self.surface.history[payload["surface_history"]:]
+        h = self.history
+        n = payload["run_history"]
+        for lst in (h.times, h.precip, h.gsw, h.glw, h.tskin_mean, h.max_wind):
+            del lst[n:]
+        for suite, (step, rad, hist) in zip(
+            self._physics_suites(), payload["physics"]
+        ):
+            if hasattr(suite, "_step"):
+                suite._step = step
+                suite._cached_rad = rad
+            suite_hist = getattr(suite, "history", None)
+            if isinstance(suite_hist, dict):
+                for k, n_kept in hist.items():
+                    if isinstance(suite_hist.get(k), list):
+                        del suite_hist[k][n_kept:]
+
+    def reset(self) -> None:
+        """Return the model to its as-built state for warm reuse.
+
+        After ``reset()`` a run from a fresh :class:`ModelState` is
+        bitwise identical to the same run on a newly constructed model —
+        the contract the serving layer's model pool is built on.
+        """
+        self.restore_mutable(self._pristine)
 
     def step_physics(self, state: ModelState) -> None:
         """One physics step: extract -> suite -> apply (section 3.2.4)."""

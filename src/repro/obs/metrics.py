@@ -15,6 +15,7 @@ of one attribute check, mirroring the tracer's off-by-default contract
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -77,6 +78,16 @@ class MetricsRegistry:
     branch) but creation is the only cost — a disabled registry is only
     installed globally as the do-nothing default; enabled ones are what
     profile runs and tests install via :func:`collecting`.
+
+    Thread-safe: the serving layer mutates one registry from many worker
+    threads at once, and ``value += n`` is a read-modify-write that loses
+    updates under preemption.  A single registry lock serialises every
+    instrument lookup *and* mutation (the shorthand paths hold it across
+    both, so lookup+update is one atomic step); :meth:`snapshot` takes
+    the same lock so a concurrent reader never sees a half-applied
+    histogram.  Instruments obtained via :meth:`counter` etc. and
+    mutated directly are only safe from a single thread — concurrent
+    call sites must use :meth:`inc`/:meth:`set_gauge`/:meth:`observe`.
     """
 
     def __init__(self, enabled: bool = True):
@@ -84,52 +95,70 @@ class MetricsRegistry:
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     # -- instruments -----------------------------------------------------
     def counter(self, name: str) -> Counter:
-        c = self.counters.get(name)
-        if c is None:
-            c = self.counters[name] = Counter()
-        return c
+        with self._lock:
+            c = self.counters.get(name)
+            if c is None:
+                c = self.counters[name] = Counter()
+            return c
 
     def gauge(self, name: str) -> Gauge:
-        g = self.gauges.get(name)
-        if g is None:
-            g = self.gauges[name] = Gauge()
-        return g
+        with self._lock:
+            g = self.gauges.get(name)
+            if g is None:
+                g = self.gauges[name] = Gauge()
+            return g
 
     def histogram(self, name: str) -> Histogram:
-        h = self.histograms.get(name)
-        if h is None:
-            h = self.histograms[name] = Histogram()
-        return h
+        with self._lock:
+            h = self.histograms.get(name)
+            if h is None:
+                h = self.histograms[name] = Histogram()
+            return h
 
     # -- shorthand used by instrumented call sites -----------------------
     def inc(self, name: str, n: float = 1.0) -> None:
         if self.enabled:
-            self.counter(name).inc(n)
+            with self._lock:
+                c = self.counters.get(name)
+                if c is None:
+                    c = self.counters[name] = Counter()
+                c.inc(n)
 
     def set_gauge(self, name: str, v: float) -> None:
         if self.enabled:
-            self.gauge(name).set(v)
+            with self._lock:
+                g = self.gauges.get(name)
+                if g is None:
+                    g = self.gauges[name] = Gauge()
+                g.set(v)
 
     def observe(self, name: str, v: float) -> None:
         if self.enabled:
-            self.histogram(name).observe(v)
+            with self._lock:
+                h = self.histograms.get(name)
+                if h is None:
+                    h = self.histograms[name] = Histogram()
+                h.observe(v)
 
     # -- views -----------------------------------------------------------
     def snapshot(self) -> dict:
         """JSON-ready copy of every instrument."""
-        return {
-            "counters": {k: c.value for k, c in sorted(self.counters.items())},
-            "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
-            "histograms": {k: h.to_dict() for k, h in sorted(self.histograms.items())},
-        }
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in sorted(self.counters.items())},
+                "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+                "histograms": {k: h.to_dict() for k, h in sorted(self.histograms.items())},
+            }
 
     def clear(self) -> None:
-        self.counters.clear()
-        self.gauges.clear()
-        self.histograms.clear()
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
 
 
 #: Process-wide registry; disabled by default (drops all updates).

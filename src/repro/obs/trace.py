@@ -59,6 +59,9 @@ class SpanKind(Enum):
     FAULT = "fault"
     RECOVERY = "recovery"
     CHECKPOINT = "checkpoint"
+    # serving layer (forecast-as-a-service)
+    SERVE_REQUEST = "serve_request"   # one forecast request, submit->result
+    SERVE_BATCH = "serve_batch"       # one coalesced ML inference forward
     # misc
     INSTANT = "instant"
 
@@ -83,6 +86,8 @@ _CATEGORY = {
     SpanKind.FAULT: "resilience",
     SpanKind.RECOVERY: "resilience",
     SpanKind.CHECKPOINT: "resilience",
+    SpanKind.SERVE_REQUEST: "serve",
+    SpanKind.SERVE_BATCH: "serve",
     SpanKind.INSTANT: "misc",
 }
 

@@ -184,53 +184,16 @@ class _SubstrateShadow:
             self.parallel_steps += 1
 
 
-def _suites(model) -> list:
-    phys = model.physics
-    if isinstance(phys, ResilientPhysics):
-        return [s for s in (phys.primary, phys.fallback) if s is not None]
-    return [phys]
-
-
 def _snapshot(model, state) -> dict:
-    # The physics suites carry a step counter and a cached radiation
-    # result; both must roll back with the state or the rad-refresh
-    # cadence diverges after a restore.
-    phys = [
-        (getattr(s, "_step", 0), getattr(s, "_cached_rad", None))
-        for s in _suites(model)
-    ]
-    return {
-        "state": state.copy(),
-        "dyn_steps": model._dyn_steps,
-        # The dycore's own step counter paces the tracer subcycle and
-        # its flux accumulator holds the partial tracer-window mean;
-        # left out of the snapshot, a rollback shifts the tracer
-        # cadence and replays the window with the wrong mean flux.
-        "dycore_steps": model.dycore._steps,
-        "flux_sum": model.dycore.flux_acc._sum.copy(),
-        "flux_steps": model.dycore.flux_acc._steps,
-        "t_land": model.surface.t_land.copy(),
-        "surface_history": len(model.surface.history),
-        "run_history": len(model.history.times),
-        "physics": phys,
-    }
+    # The model owns the mutable-side-store snapshot (step counters,
+    # tracer-window flux accumulator, surface slab, radiation cadence —
+    # see GristModel.snapshot_mutable); the checkpoint pairs it with a
+    # bit-exact state copy.
+    return {"state": state.copy(), **model.snapshot_mutable()}
 
 
 def _restore(model, payload: dict):
-    model._dyn_steps = payload["dyn_steps"]
-    model.dycore._steps = payload["dycore_steps"]
-    model.dycore.flux_acc._sum[:] = payload["flux_sum"]
-    model.dycore.flux_acc._steps = payload["flux_steps"]
-    model.surface.t_land[:] = payload["t_land"]
-    del model.surface.history[payload["surface_history"]:]
-    h = model.history
-    n = payload["run_history"]
-    for lst in (h.times, h.precip, h.gsw, h.glw, h.tskin_mean, h.max_wind):
-        del lst[n:]
-    for suite, (step, rad) in zip(_suites(model), payload["physics"]):
-        if hasattr(suite, "_step"):
-            suite._step = step
-            suite._cached_rad = rad
+    model.restore_mutable(payload)
     return payload["state"].copy()
 
 

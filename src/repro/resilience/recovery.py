@@ -149,6 +149,13 @@ class ResilientPhysics:
     wrapper snapshots that mutable state before the primary runs and
     restores it before the fallback, so a degraded step is exactly the
     step the fallback suite alone would have taken.
+
+    ``injector`` scopes fault injection to *this* suite instance: when
+    set, it is consulted instead of the process-wide injector.  The
+    serving layer leans on this for per-request isolation — a poisoned
+    request's injector fires only inside that request's model, while
+    clean requests running concurrently in the same process never see
+    it.  ``None`` (the default) keeps the global-injector behaviour.
     """
 
     def __init__(
@@ -157,11 +164,13 @@ class ResilientPhysics:
         fallback=None,
         surface=None,
         spread_threshold: float = 10.0,
+        injector=None,
     ):
         self.primary = primary
         self.fallback = fallback
         self.surface = surface
         self.spread_threshold = spread_threshold
+        self.injector = injector
         self.fallbacks = 0
 
     @staticmethod
@@ -186,7 +195,7 @@ class ResilientPhysics:
         snap = self._surface_snapshot()
         tend = self._call(self.primary, state, fields)
 
-        injector = get_injector()
+        injector = self.injector if self.injector is not None else get_injector()
         blowup = None
         if injector is not None:
             blowup = injector.fire(FaultKind.ML_BLOWUP, site="physics")

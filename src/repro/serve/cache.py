@@ -1,0 +1,77 @@
+"""Content-addressed forecast result cache.
+
+Keys are :meth:`ForecastRequest.cache_key` SHA-256 digests, so the cache
+is *content-addressed over request content*: equal requests collide by
+construction (that's the hit), while any differing field — grid level,
+lead time, scenario, ensemble size, seed, precision policy — produces a
+different 256-bit key.  Results are stored as returned; a hit hands back
+the same member arrays byte-for-byte (the cache-correctness tests pin
+``digest()`` equality against a cold run).
+
+Thread-safe: one lock around the LRU order and the stats — the serving
+layer probes and fills from many worker threads at once.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.obs import get_metrics
+from repro.serve.request import ForecastResult
+
+
+class ResultCache:
+    """Bounded LRU of completed forecast results, keyed by content."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, ForecastResult] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> ForecastResult | None:
+        with self._lock:
+            res = self._entries.get(key)
+            if res is None:
+                self.misses += 1
+                get_metrics().inc("serve.cache.misses")
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+        get_metrics().inc("serve.cache.hits")
+        return res
+
+    def put(self, key: str, result: ForecastResult) -> None:
+        """Store a *successful* result; errors are never cached (a retry
+        of a faulted request must re-execute)."""
+        if not result.ok:
+            return
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            self.puts += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                get_metrics().inc("serve.cache.evictions")
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "evictions": self.evictions,
+            }

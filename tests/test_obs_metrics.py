@@ -168,3 +168,77 @@ class TestSubstrateFeeds:
         assert snap["counters"]["swgomp.launches"] == 1.0
         assert snap["counters"]["swgomp.chunks"] == 4.0
         assert snap["histograms"]["swgomp.region_sim_seconds"]["count"] == 1
+
+
+class TestThreadSafety:
+    """The registry is hammered from serving worker threads; the
+    shorthand mutators must hold one lock across lookup-and-mutate so
+    concurrent first-touches of a name never lose updates."""
+
+    def test_concurrent_inc_loses_nothing(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        r = MetricsRegistry()
+
+        def worker(_):
+            for _ in range(1000):
+                r.inc("shared")
+                r.inc("shared", 2)
+
+        with ThreadPoolExecutor(max_workers=8) as ex:
+            list(ex.map(worker, range(8)))
+        assert r.snapshot()["counters"]["shared"] == 8 * 1000 * 3.0
+
+    def test_concurrent_first_touch_single_instrument(self):
+        """All threads racing to create the same names end up sharing
+        one instrument per name (the get-or-create race)."""
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        r = MetricsRegistry()
+        barrier = threading.Barrier(8)
+
+        def worker(_):
+            barrier.wait()
+            for i in range(50):
+                r.inc(f"c{i}")
+                r.observe(f"h{i}", 1.0)
+                r.set_gauge(f"g{i}", float(i))
+
+        with ThreadPoolExecutor(max_workers=8) as ex:
+            list(ex.map(worker, range(8)))
+        snap = r.snapshot()
+        for i in range(50):
+            assert snap["counters"][f"c{i}"] == 8.0
+            assert snap["histograms"][f"h{i}"]["count"] == 8
+            assert snap["gauges"][f"g{i}"] == float(i)
+
+    def test_concurrent_observe_and_snapshot(self):
+        """Snapshots taken mid-storm are internally consistent and never
+        raise (RuntimeError: dict changed size) against creations."""
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        r = MetricsRegistry()
+        stop = threading.Event()
+
+        def writer(k):
+            i = 0
+            while not stop.is_set():
+                r.observe(f"h{k}.{i % 20}", float(i))
+                i += 1
+
+        def reader():
+            while not stop.is_set():
+                snap = r.snapshot()
+                for h in snap["histograms"].values():
+                    assert h["count"] >= 1
+
+        with ThreadPoolExecutor(max_workers=6) as ex:
+            futs = [ex.submit(writer, k) for k in range(4)]
+            futs += [ex.submit(reader) for _ in range(2)]
+            import time
+            time.sleep(0.3)
+            stop.set()
+            for f in futs:
+                f.result(timeout=10)
