@@ -13,11 +13,18 @@ Run standalone::
     PYTHONPATH=src python benchmarks/bench_hotpath.py            # full G3-G5
     PYTHONPATH=src python benchmarks/bench_hotpath.py --tiny     # CI smoke
 
+It also times the compiled stencil layer's operators — reference vs
+fused backend, per kernel, at each grid — records the fused speedups and
+the max deviation against each kernel's declared contract, and commits
+them to the same baseline file.
+
 CI regression gate: ``--check BENCH_hotpath.json`` compares the
-machine-independent *speedup ratio* (legacy time / plan time, measured
-in the same process on the same machine) against the committed
-baseline and fails if the exchange hot loop regressed by more than 2x
-relative to it.
+machine-independent *speedup ratios* (legacy/plan exchange time and
+reference/fused operator time, measured in the same process on the same
+machine) against the committed baseline.  The exchange hot loop fails if
+it regressed by more than 2x relative to the baseline; a fused operator
+fails outright if it runs more than 20 % slower than the reference
+backend (speedup < 0.8), regardless of baseline.
 """
 
 from __future__ import annotations
@@ -49,7 +56,22 @@ from repro.partition.decomposition import decompose
 from repro.partition.graph import mesh_cell_graph
 from repro.partition.metis import partition_graph
 
-SCHEMA = "bench_hotpath/1"
+SCHEMA = "bench_hotpath/2"
+
+#: Public operators timed per backend: name -> input staggering kinds.
+OPERATOR_BENCH = {
+    "divergence": ("edge",),
+    "gradient": ("cell",),
+    "curl": ("edge",),
+    "cell_to_edge": ("cell",),
+    "vertex_to_cell": ("vertex",),
+    "kinetic_energy": ("edge",),
+    "tangential_velocity": ("edge",),
+    "laplacian_edge": ("edge",),
+}
+
+#: A fused operator running >20 % slower than reference fails CI.
+FUSED_FLOOR = 0.8
 
 #: (grid name, mesh level, ranks) — G5/8 is the acceptance point.
 FULL_GRIDS = [("G3", 3, 6), ("G4", 4, 8), ("G5", 5, 8)]
@@ -176,6 +198,43 @@ def mixed_roundtrip_check(mesh, locals_) -> dict:
     }
 
 
+def bench_operators(mesh, nlev: int, iters: int) -> dict:
+    """Reference vs fused timing for each benchmarked operator.
+
+    Records per-kernel seconds, the fused speedup, the declared
+    tolerance, and the observed max scaled deviation (which the contract
+    bounds — 0.0 means bitwise)."""
+    from repro.dycore import operators as ops
+    from repro.dycore.stencil import STENCILS, compiled_kernels
+
+    # Compile both plans up front so timing never includes compilation.
+    compiled_kernels(mesh, "reference")
+    compiled_kernels(mesh, "fused")
+    rng = np.random.default_rng(42)
+    fields = {
+        "edge": rng.normal(size=(mesh.ne, nlev)),
+        "cell": rng.normal(size=(mesh.nc, nlev)),
+        "vertex": rng.normal(size=(mesh.nv, nlev)),
+    }
+    out = {}
+    for name, kinds in OPERATOR_BENCH.items():
+        fn = getattr(ops, name)
+        args = [fields[k] for k in kinds]
+        t_ref = _time_calls(lambda: fn(mesh, *args, backend="reference"), iters)
+        t_fus = _time_calls(lambda: fn(mesh, *args, backend="fused"), iters)
+        ref = fn(mesh, *args, backend="reference")
+        fus = fn(mesh, *args, backend="fused")
+        scale = max(float(np.abs(ref).max()), 1e-300)
+        out[name] = {
+            "reference_seconds": t_ref,
+            "fused_seconds": t_fus,
+            "speedup": t_ref / t_fus,
+            "tolerance": STENCILS[name].tolerance,
+            "max_scaled_deviation": float(np.abs(fus - ref).max()) / scale,
+        }
+    return out
+
+
 def run(grids, nlev: int, iters: int, steps: int) -> dict:
     results = {"schema": SCHEMA, "generated_unix": time.time(), "grids": {}}
     for name, level, nparts in grids:
@@ -185,6 +244,7 @@ def run(grids, nlev: int, iters: int, steps: int) -> dict:
         ex_mixed = bench_exchange(mesh, locals_, nlev, max(iters // 2, 3),
                                   mixed=True)
         step_res = bench_step(mesh, nparts, nlev, steps)
+        op_res = bench_operators(mesh, nlev, max(iters, 10))
         results["grids"][name] = {
             "level": level,
             "nparts": nparts,
@@ -194,6 +254,7 @@ def run(grids, nlev: int, iters: int, steps: int) -> dict:
             "exchange": ex_res,
             "exchange_mixed": ex_mixed,
             "step": step_res,
+            "operators": op_res,
             "mixed_roundtrip": mixed_roundtrip_check(mesh, locals_),
         }
         print_header(f"HOT PATH — {name} ({mesh.nc} cells, {nparts} ranks)")
@@ -207,6 +268,11 @@ def run(grids, nlev: int, iters: int, steps: int) -> dict:
               f"-> plan {ex_mixed['plan']['wire_bytes'] / 1e3:.0f} KB "
               f"(float32 travels as 4 bytes)")
         print(f"distributed step: {step_res['seconds_per_step'] * 1e3:.1f} ms/step")
+        print("stencil operators (reference -> fused):")
+        for op, r in op_res.items():
+            print(f"  {op:24s} {r['reference_seconds'] * 1e6:9.1f} us "
+                  f"-> {r['fused_seconds'] * 1e6:9.1f} us "
+                  f"({r['speedup']:5.2f}x, maxdev {r['max_scaled_deviation']:.1e})")
     return results
 
 
@@ -233,6 +299,22 @@ def check_regression(results: dict, baseline_path: str, factor: float = 2.0) -> 
         bad = [k for k, v in mixed.items() if not v]
         if bad:
             failures.append(f"{name}: mixed-precision contract broken: {bad}")
+        # Fused-backend gate: absolute floor first (a fused kernel more
+        # than 20 % slower than reference is a regression no matter what
+        # the baseline says), then the per-kernel contract on accuracy.
+        for op, r in res.get("operators", {}).items():
+            if r["speedup"] < FUSED_FLOOR:
+                failures.append(
+                    f"{name}/{op}: fused backend {r['speedup']:.2f}x vs "
+                    f"reference (floor {FUSED_FLOOR}x — >20% slowdown)"
+                )
+            tol = r["tolerance"]
+            if r["max_scaled_deviation"] > (tol if tol > 0.0 else 0.0):
+                failures.append(
+                    f"{name}/{op}: fused deviation "
+                    f"{r['max_scaled_deviation']:.2e} exceeds declared "
+                    f"tolerance {tol:.1e}"
+                )
     return failures
 
 
@@ -244,7 +326,8 @@ def main(argv=None) -> int:
                     help="output JSON path")
     ap.add_argument("--check", metavar="BASELINE",
                     help="fail if the exchange hot loop regressed >2x "
-                         "against this committed baseline")
+                         "against this committed baseline, or any fused "
+                         "stencil kernel runs >20% slower than reference")
     ap.add_argument("--iters", type=int, default=None,
                     help="timing iterations per exchange path")
     args = ap.parse_args(argv)

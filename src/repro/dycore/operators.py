@@ -7,215 +7,166 @@ the mesh's padded connectivity arrays — the paper's indirect-addressing
 scheme — and preserve the usual mimetic identities (divergence of a
 curl-free... the divergence theorem holds discretely: area-weighted
 divergence sums to zero over the sphere; curl of a gradient vanishes to
-round-off), which the test suite checks.
+round-off), which the test suite checks *per backend*.
 
-Per-mesh operator cache
------------------------
-Every operator used to re-derive its adjacency on each call (clipping
-padded index tables, building pad masks, multiplying sign tables by
-edge lengths).  :func:`mesh_ops` compiles those once per mesh into an
-:class:`OperatorCache` stored on the mesh instance, and every operator
-reuses it.  The cached arrays are produced by exactly the same
-expressions as before, so operator outputs stay bitwise identical —
-only the per-call index/weight recomputation disappears from the hot
-loop.
+Compiled stencil layer
+----------------------
+Every operator here is a declarative :class:`~repro.dycore.stencil.
+StencilSpec` compiled once per mesh into a kernel plan with a pluggable
+backend (see :mod:`repro.dycore.stencil`):
+
+* ``reference`` — the eager NumPy expressions, bitwise identical to the
+  pre-stencil operators; the default.
+* ``fused`` — preallocated ``out=``/scratch buffers, pad-zeroing folded
+  into weights, folded normalisations + single-``einsum`` reductions,
+  ``np.bincount`` scatter-accumulates, optional numexpr/numba.
+
+Backend selection, most specific wins::
+
+    ops.divergence(mesh, F, backend="fused")      # per call
+    bind_stencil_backend(mesh, "fused")           # per mesh (solver does
+                                                  # this from DycoreConfig)
+    REPRO_STENCIL_BACKEND=fused                   # process default
+
+The compiled plans live on the mesh (:func:`mesh_ops` /
+:func:`repro.dycore.stencil.compiled_kernels`), are built under a module
+lock, and are immutable after publish — safe to share across
+``repro.serve`` threads on a warm model.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.grid.mesh import Mesh, PAD
+from repro.dycore.stencil import (
+    BACKENDS,
+    BITWISE,
+    STENCILS,
+    OperatorCache,
+    StencilSpec,
+    bind_stencil_backend,
+    bound_backend,
+    compiled_kernels,
+    default_backend,
+    mesh_cache,
+    traffic_factor,
+)
+from repro.grid.mesh import Mesh, PAD  # noqa: F401  (re-export: PAD)
 
-
-class OperatorCache:
-    """Precomputed index/weight structure for one mesh (built once)."""
-
-    __slots__ = (
-        "cell_edges_idx", "cell_edges_pad", "cell_edges_valid", "div_w",
-        "vertex_edges_idx", "curl_w",
-        "cell_vertices_idx", "cell_vertices_valid",
-        "edge_c1", "edge_c2", "edge_v1", "edge_v2",
-        "_v2c_weights",
-    )
-
-    def __init__(self, mesh: Mesh):
-        ce = mesh.cell_edges
-        self.cell_edges_idx = np.clip(ce, 0, None)
-        self.cell_edges_pad = ce == PAD
-        self.cell_edges_valid = ce >= 0
-        le = np.where(ce >= 0, mesh.le[self.cell_edges_idx], 0.0)
-        self.div_w = mesh.cell_edge_sign * le                 # (nc, D)
-
-        ve = mesh.vertex_edges
-        self.vertex_edges_idx = np.clip(ve, 0, None)
-        de = np.where(ve >= 0, mesh.de[self.vertex_edges_idx], 0.0)
-        self.curl_w = mesh.vertex_edge_sign * de              # (nv, 3)
-
-        cv = mesh.cell_vertices
-        self.cell_vertices_idx = np.clip(cv, 0, None)
-        self.cell_vertices_valid = cv >= 0
-
-        # Contiguous copies of the hot endpoint columns (the sliced
-        # views have stride 2, which slows fancy indexing).
-        self.edge_c1 = np.ascontiguousarray(mesh.edge_cells[:, 0])
-        self.edge_c2 = np.ascontiguousarray(mesh.edge_cells[:, 1])
-        self.edge_v1 = np.ascontiguousarray(mesh.edge_vertices[:, 0])
-        self.edge_v2 = np.ascontiguousarray(mesh.edge_vertices[:, 1])
-
-        # dtype -> (mask, clamped count) for vertex_to_cell, built lazily
-        # per dtype so mixed-precision callers keep their exact dtypes.
-        self._v2c_weights: dict = {}
-
-    def v2c_weights(self, dtype: np.dtype) -> tuple[np.ndarray, np.ndarray]:
-        got = self._v2c_weights.get(dtype)
-        if got is None:
-            mask = self.cell_vertices_valid.astype(dtype)
-            cnt = np.maximum(mask.sum(axis=1), 1.0)
-            got = (mask, cnt)
-            self._v2c_weights[dtype] = got
-        return got
+__all__ = [
+    "OperatorCache", "StencilSpec", "STENCILS", "BACKENDS", "BITWISE",
+    "mesh_ops", "compiled_kernels", "bind_stencil_backend",
+    "bound_backend", "default_backend", "traffic_factor",
+    "divergence", "gradient", "curl", "cell_to_edge",
+    "cell_to_edge_upwind", "vertex_to_edge", "vertex_to_cell",
+    "reconstruct_cell_vectors", "tangential_velocity", "kinetic_energy",
+    "laplacian_cell", "laplacian_edge",
+]
 
 
 def mesh_ops(mesh: Mesh) -> OperatorCache:
-    """The mesh's operator cache, compiled on first use."""
-    cache = getattr(mesh, "_op_cache", None)
-    if cache is None:
-        cache = OperatorCache(mesh)
-        mesh._op_cache = cache
-    return cache
+    """The mesh's shared index/weight cache, compiled on first use.
+
+    Compilation happens under the stencil layer's module lock and the
+    cache is immutable after publish (see
+    :class:`~repro.dycore.stencil.OperatorCache`).
+    """
+    return mesh_cache(mesh)
 
 
 def _gather_edges(mesh: Mesh, edge_field: np.ndarray) -> np.ndarray:
-    """Gather an edge field to (nc, MAX_DEG, ...) with zeros at pads."""
-    ops = mesh_ops(mesh)
-    out = edge_field[ops.cell_edges_idx]
-    out[ops.cell_edges_pad] = 0.0
-    return out
+    """Gather an edge field to (nc, MAX_DEG, ...) with zeros at pads.
+
+    Pad lanes are annihilated by the cached pad-mask weight (1 at live
+    lanes, 0 at pads) — one vectorised multiply instead of the old
+    per-call boolean-mask scatter that first gathered live edge-0 rows
+    into the pad lanes and then zeroed them again.
+    """
+    return compiled_kernels(mesh).gather_edges(edge_field)
 
 
-def divergence(mesh: Mesh, flux_edge: np.ndarray) -> np.ndarray:
+def divergence(mesh: Mesh, flux_edge: np.ndarray, backend: str | None = None) -> np.ndarray:
     """Divergence at cells of an edge-normal flux field.
 
     ``div_i = (1/A_i) * sum_e sign(i,e) * F_e * le_e`` — the finite
     volume form; exact conservation: ``sum_i A_i * div_i == 0``.
     """
-    gathered = _gather_edges(mesh, flux_edge)           # (nc, D, ...)
-    w = mesh_ops(mesh).div_w                             # (nc, D)
-    extra = gathered.ndim - 2
-    w = w.reshape(w.shape + (1,) * extra)
-    acc = (gathered * w).sum(axis=1)
-    area = mesh.cell_area.reshape((-1,) + (1,) * extra)
-    return acc / area
+    return compiled_kernels(mesh, backend).divergence(flux_edge)
 
 
-def gradient(mesh: Mesh, cell_field: np.ndarray) -> np.ndarray:
+def gradient(mesh: Mesh, cell_field: np.ndarray, backend: str | None = None) -> np.ndarray:
     """Normal gradient at edges: ``(psi(c2) - psi(c1)) / de``."""
-    ops = mesh_ops(mesh)
-    de = mesh.de.reshape((-1,) + (1,) * (cell_field.ndim - 1))
-    return (cell_field[ops.edge_c2] - cell_field[ops.edge_c1]) / de
+    return compiled_kernels(mesh, backend).gradient(cell_field)
 
 
-def curl(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
+def curl(mesh: Mesh, u_edge: np.ndarray, backend: str | None = None) -> np.ndarray:
     """Relative vorticity at vertices from the circulation of u.
 
     The normal velocity at a primal edge is the tangential velocity along
     the corresponding dual edge, so the circulation around a dual
     triangle is ``sum_e sign(v,e) * u_e * de_e``.
     """
-    ops = mesh_ops(mesh)
-    ue = u_edge[ops.vertex_edges_idx]                     # (nv, 3, ...)
-    w = ops.curl_w
-    extra = ue.ndim - 2
-    w = w.reshape(w.shape + (1,) * extra)
-    acc = (ue * w).sum(axis=1)
-    area = mesh.vertex_area.reshape((-1,) + (1,) * extra)
-    return acc / area
+    return compiled_kernels(mesh, backend).curl(u_edge)
 
 
-def cell_to_edge(mesh: Mesh, cell_field: np.ndarray) -> np.ndarray:
+def cell_to_edge(mesh: Mesh, cell_field: np.ndarray, backend: str | None = None) -> np.ndarray:
     """Arithmetic two-cell average onto edges (2nd-order centred)."""
-    ops = mesh_ops(mesh)
-    return 0.5 * (cell_field[ops.edge_c1] + cell_field[ops.edge_c2])
+    return compiled_kernels(mesh, backend).cell_to_edge(cell_field)
 
 
-def cell_to_edge_upwind(mesh: Mesh, cell_field: np.ndarray, u_edge: np.ndarray) -> np.ndarray:
+def cell_to_edge_upwind(
+    mesh: Mesh, cell_field: np.ndarray, u_edge: np.ndarray,
+    backend: str | None = None,
+) -> np.ndarray:
     """First-order upwind edge value based on the sign of u (c1 -> c2)."""
-    ops = mesh_ops(mesh)
-    return np.where(u_edge >= 0.0, cell_field[ops.edge_c1], cell_field[ops.edge_c2])
+    return compiled_kernels(mesh, backend).cell_to_edge_upwind(cell_field, u_edge)
 
 
-def vertex_to_edge(mesh: Mesh, vertex_field: np.ndarray) -> np.ndarray:
+def vertex_to_edge(mesh: Mesh, vertex_field: np.ndarray, backend: str | None = None) -> np.ndarray:
     """Two-vertex average onto edges."""
-    ops = mesh_ops(mesh)
-    return 0.5 * (vertex_field[ops.edge_v1] + vertex_field[ops.edge_v2])
+    return compiled_kernels(mesh, backend).vertex_to_edge(vertex_field)
 
 
-def vertex_to_cell(mesh: Mesh, vertex_field: np.ndarray) -> np.ndarray:
+def vertex_to_cell(mesh: Mesh, vertex_field: np.ndarray, backend: str | None = None) -> np.ndarray:
     """Area-style average of the cell's surrounding vertices."""
-    ops = mesh_ops(mesh)
-    vals = vertex_field[ops.cell_vertices_idx]
-    mask, cnt = ops.v2c_weights(vals.dtype)
-    extra = vals.ndim - 2
-    mask = mask.reshape(mask.shape + (1,) * extra)
-    s = (vals * mask).sum(axis=1)
-    return s / cnt.reshape(cnt.shape + (1,) * extra)
+    return compiled_kernels(mesh, backend).vertex_to_cell(vertex_field)
 
 
-def reconstruct_cell_vectors(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
+def reconstruct_cell_vectors(
+    mesh: Mesh, u_edge: np.ndarray, backend: str | None = None
+) -> np.ndarray:
     """Least-squares 3-D velocity vectors at cells from edge normals.
 
     Returns shape ``(nc, 3)`` for a 2-D ``(ne,)`` input or
     ``(nc, 3, nlev)`` for ``(ne, nlev)`` input.
     """
-    ops = mesh_ops(mesh)
-    ug = u_edge[ops.cell_edges_idx]                        # (nc, D, ...)
-    valid = ops.cell_edges_valid
-    ug = np.where(valid.reshape(valid.shape + (1,) * (ug.ndim - 2)), ug, 0.0)
-    if ug.ndim == 2:
-        return np.einsum("nik,nk->ni", mesh.cell_recon, ug)
-    return np.einsum("nik,nkl->nil", mesh.cell_recon, ug)
+    return compiled_kernels(mesh, backend).reconstruct_cell_vectors(u_edge)
 
 
-def tangential_velocity(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
+def tangential_velocity(mesh: Mesh, u_edge: np.ndarray, backend: str | None = None) -> np.ndarray:
     """Tangential velocity at edges via cell-vector reconstruction.
 
     Average the two adjacent cells' reconstructed vectors and project on
     the edge tangent — the simplified perpendicular reconstruction used
     in place of full TRSK weights.
     """
-    ops = mesh_ops(mesh)
-    vec = reconstruct_cell_vectors(mesh, u_edge)           # (nc, 3[, nlev])
-    ve = 0.5 * (vec[ops.edge_c1] + vec[ops.edge_c2])       # (ne, 3[, nlev])
-    if ve.ndim == 2:
-        return np.einsum("ej,ej->e", ve, mesh.edge_tangent)
-    return np.einsum("ejl,ej->el", ve, mesh.edge_tangent)
+    return compiled_kernels(mesh, backend).tangential_velocity(u_edge)
 
 
-def kinetic_energy(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
+def kinetic_energy(mesh: Mesh, u_edge: np.ndarray, backend: str | None = None) -> np.ndarray:
     """Kinetic energy at cells: 0.5 |U|^2 from reconstructed vectors."""
-    vec = reconstruct_cell_vectors(mesh, u_edge)
-    if vec.ndim == 2:
-        return 0.5 * np.einsum("ni,ni->n", vec, vec)
-    return 0.5 * np.einsum("nil,nil->nl", vec, vec)
+    return compiled_kernels(mesh, backend).kinetic_energy(u_edge)
 
 
-def laplacian_cell(mesh: Mesh, cell_field: np.ndarray) -> np.ndarray:
+def laplacian_cell(mesh: Mesh, cell_field: np.ndarray, backend: str | None = None) -> np.ndarray:
     """Horizontal Laplacian of a cell field: div(grad)."""
-    return divergence(mesh, gradient(mesh, cell_field))
+    return compiled_kernels(mesh, backend).laplacian_cell(cell_field)
 
 
-def laplacian_edge(mesh: Mesh, u_edge: np.ndarray) -> np.ndarray:
+def laplacian_edge(mesh: Mesh, u_edge: np.ndarray, backend: str | None = None) -> np.ndarray:
     """Vector Laplacian on edges via grad(div) - curl-of-curl form.
 
     Used for horizontal diffusion of momentum; approximate but adequate
     as a stabiliser (coefficient-scaled in the solver).
     """
-    ops = mesh_ops(mesh)
-    div = divergence(mesh, u_edge)
-    zeta = curl(mesh, u_edge)
-    grad_div = gradient(mesh, div)
-    # curl of vorticity along the edge: tangential difference of zeta.
-    le = mesh.le.reshape((-1,) + (1,) * (u_edge.ndim - 1))
-    curl_zeta = (zeta[ops.edge_v2] - zeta[ops.edge_v1]) / le
-    return grad_div - curl_zeta
+    return compiled_kernels(mesh, backend).laplacian_edge(u_edge)

@@ -64,6 +64,12 @@ class DycoreConfig:
     #: amplify in the thin uppermost layers).
     sponge_levels: int = 3
     sponge_timescale: float = 1.0e4
+    #: Stencil backend the core's operators compile to ("reference" —
+    #: bitwise, the default — or "fused"; ``None`` keeps the mesh/env
+    #: default).  Bound to the mesh at construction, so the distributed
+    #: driver's rank-local cores inherit the same backend through the
+    #: shared config.  See :mod:`repro.dycore.stencil`.
+    stencil_backend: str | None = None
 
 
 @dataclass
@@ -81,6 +87,12 @@ class DynamicalCore:
         self.mesh = mesh
         self.vcoord = vcoord
         self.config = config or DycoreConfig()
+        if self.config.stencil_backend is not None:
+            ops.bind_stencil_backend(mesh, self.config.stencil_backend)
+        # Compile this mesh's kernel plan up front (idempotent): the hot
+        # loop never pays first-call compilation, and forked rank workers
+        # inherit a fully built, immutable-after-publish plan.
+        ops.compiled_kernels(mesh)
         self.flux_acc = MassFluxAccumulator(mesh.ne, vcoord.nlev)
         # Diffusion scales with the *global* grid spacing of this level
         # (not the instance's mean edge length) so a rank-local submesh

@@ -44,8 +44,13 @@ def primal_normal_flux_edge(
     dt = policy.dtype_of("mass_divergence")
     c1 = mesh.edge_cells[:, 0]
     c2 = mesh.edge_cells[:, 1]
-    # Distance weighting keeps 2nd order on the slightly non-uniform grid.
-    w1 = (0.5 * mesh.de / mesh.de)[:, None].astype(dt)   # = 0.5, kept explicit
+    # Midpoint weighting keeps 2nd order on the slightly non-uniform grid.
+    # The weight is the dtype-correct literal 1/2: the old form
+    # ``(0.5 * mesh.de / mesh.de)`` evaluated to exactly 0.5 too (the
+    # division is exact), but burned a full pass over ``de`` per call and
+    # NaN-poisoned the flux if a degenerate zero-length edge ever
+    # appeared.  Pinned bitwise against the old expression in tests.
+    w1 = np.asarray(0.5, dtype=dt)
     dpi_e = w1 * dpi[c1].astype(dt) + (1.0 - w1) * dpi[c2].astype(dt)
     return dpi_e * u.astype(dt)
 

@@ -106,11 +106,20 @@ class PerformanceModel:
         params: PerfParams | None = None,
         topology: FatTreeTopology | None = None,
         cg: CoreGroup | None = None,
+        stencil_backend: str = "reference",
     ):
         self.params = params or PerfParams()
         self.topology = topology or SUNWAY_TOPOLOGY
         self.cg = cg or CoreGroup()
         self.timer = KernelTimer(self.cg)
+        # Per-kernel stencil-layer hook: the compiled stencil registry
+        # declares each kernel's memory passes per backend, and the
+        # fused backend's temporary elimination lands here as a
+        # memory-traffic multiplier (< 1) on its constituent stencils.
+        from repro.dycore.stencil import resolve_backend_name, traffic_factor
+
+        self.stencil_backend = resolve_backend_name(stencil_backend)
+        self._stencil_traffic = traffic_factor
 
     # -- helpers -------------------------------------------------------------
     def cells_per_cg(self, grid: GridConfig, nprocs: int) -> float:
@@ -144,6 +153,7 @@ class PerformanceModel:
             eb_sum += eb
             n_spec += 1
             reuse = self._reuse_factor(local_cells, nlev, eb)
+            reuse *= self._stencil_traffic(reg.spec.name, self.stencil_backend)
             mem = t.memory_seconds * reuse / self.params.indirect_bandwidth_fraction
             total += max(t.compute_seconds, mem)
         return total * self.params.work_multiplier

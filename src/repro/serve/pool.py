@@ -62,8 +62,19 @@ def make_member_state(model, request: ForecastRequest, member: int):
 def build_forecast_model(
     model_key: tuple,
     shared_nets: dict | None = None,
+    stencil_backend: str | None = None,
 ):
     """Build one servable model for ``model_key``.
+
+    ``stencil_backend`` selects the dycore's compiled stencil backend
+    (default: the ``REPRO_STENCIL_BACKEND``/process default, see
+    :mod:`repro.dycore.stencil`).  The compiled kernel plans live on the
+    model's mesh and survive :meth:`GristModel.reset`, so a warm
+    :class:`ModelPool` instance reuses the same immutable plans across
+    every request it serves — compilation is paid once per pooled model,
+    not once per request.  :func:`~repro.serve.scheduler.run_serial_oracle`
+    builds through this same entry point, so pooled and oracle runs
+    always compare like-for-like per backend.
 
     The physics is always wrapped in :class:`ResilientPhysics` with no
     fallback and per-step state validation on, so any blow-up — injected
@@ -76,6 +87,7 @@ def build_forecast_model(
     (net, batcher)}``.  When given, the suite's nets are the batching
     proxies over those shared weights.
     """
+    from repro.dycore.stencil import default_backend
     from repro.dycore.vertical import VerticalCoordinate
     from repro.grid import build_mesh
     from repro.model.grist import GristModel
@@ -86,6 +98,8 @@ def build_forecast_model(
         idealized_sst,
     )
 
+    if stencil_backend is None:
+        stencil_backend = default_backend()
     level, nlev, scheme_label, _scenario = model_key
     scheme = TABLE3_SCHEMES[scheme_label]
     mesh = build_mesh(level)
@@ -118,6 +132,7 @@ def build_forecast_model(
     return GristModel(
         mesh, vc, gc, scheme,
         surface=surface, physics_suite=physics, validate_state=True,
+        dycore_kwargs={"stencil_backend": stencil_backend},
     )
 
 

@@ -230,6 +230,11 @@ class TestOperatorCache:
             mesh.de[np.clip(mesh.vertex_edges, 0, None)], 0.0,
         )
         np.testing.assert_array_equal(c.curl_w, mesh.vertex_edge_sign * de)
+        # The pad-annihilating gather weight is 1 on valid lanes, 0 on PAD.
+        np.testing.assert_array_equal(
+            c.edge_gather_w, (mesh.cell_edges >= 0).astype(np.float64)
+        )
+        assert c.edge_gather_w.dtype == np.float64
 
     def test_vertex_to_cell_dtype_preserved(self, mesh):
         rng = np.random.default_rng(1)
