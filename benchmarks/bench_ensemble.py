@@ -1,0 +1,249 @@
+"""Ensemble-engine benchmark: member throughput, shared plans, oracle parity.
+
+Drives :class:`~repro.ensemble.runner.EnsembleRunner` over every
+registered scenario at a tiny grid and records, per scenario:
+
+* **loop phase** — the per-member serial oracle (one shared warm model,
+  bit-exact reset between members): wall time and member-steps/sec;
+* **batch phase** — the member-vectorized fast path (block-diagonal
+  replicated mesh, one model over all members): wall time,
+  member-steps/sec, and the batch/loop speedup the regression gate
+  tracks;
+* **correctness booleans** (absolute gates, never ratio-compared):
+  batch bitwise-identical to the loop oracle member by member, exactly
+  one stencil plan compilation per mode (shared across the N-member
+  batch), member digests pairwise distinct, and every product field
+  finite.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_ensemble.py          # full
+    PYTHONPATH=src python benchmarks/bench_ensemble.py --tiny   # CI smoke
+
+CI regression gate: ``--check BENCH_ensemble.json`` compares the
+machine-independent batch/loop speedup against the committed baseline
+(same-named profile only) and fails on a >4x collapse or any broken
+correctness boolean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+# Standalone execution (`python benchmarks/bench_ensemble.py`) puts only
+# the benchmarks/ directory on sys.path; make the repo root importable.
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT) not in sys.path:
+    sys.path.insert(0, str(_ROOT))
+
+import numpy as np
+
+from benchmarks._util import print_header
+from repro.ensemble import EnsembleRunner, scenario_names
+
+SCHEMA = "bench_ensemble/1"
+
+
+def _finite_products(result) -> bool:
+    for stats in result.products.values():
+        for key, value in stats.items():
+            if key == "threshold":
+                continue
+            if not np.all(np.isfinite(value)):
+                return False
+    return True
+
+
+def bench_scenario(name: str, members: int, level: int, nlev: int,
+                   steps: int, physics_perturbation: float) -> dict:
+    """One scenario point: loop oracle, vectorized batch, parity audit."""
+    runner = EnsembleRunner(
+        scenario=name, n_members=members, seed=0, level=level, nlev=nlev,
+        steps=steps, physics_perturbation=physics_perturbation,
+    )
+    loop = runner.run(vectorized=False)
+    batch = runner.run(vectorized=True)
+
+    member_steps = members * steps
+    loop_rate = member_steps / loop.wall_seconds if loop.wall_seconds else 0.0
+    batch_rate = (
+        member_steps / batch.wall_seconds if batch.wall_seconds else 0.0
+    )
+    return {
+        "scenario": name,
+        "members": members,
+        "level": level,
+        "nlev": nlev,
+        "steps": steps,
+        "scheme": runner.scheme,
+        "physics_perturbation": physics_perturbation,
+        "loop": {
+            "wall_seconds": loop.wall_seconds,
+            "member_steps_per_second": loop_rate,
+            "plan_compiles": loop.plan_compiles,
+        },
+        "batch": {
+            "wall_seconds": batch.wall_seconds,
+            "member_steps_per_second": batch_rate,
+            "plan_compiles": batch.plan_compiles,
+        },
+        "batch_speedup": (
+            loop.wall_seconds / batch.wall_seconds
+            if batch.wall_seconds else 0.0
+        ),
+        "correct": {
+            "oracle_bitwise": (
+                loop.member_digests() == batch.member_digests()
+            ),
+            "loop_shared_plan": loop.plan_compiles <= 1,
+            "batch_shared_plan": batch.plan_compiles <= 1,
+            "members_distinct": (
+                len(set(loop.member_digests())) == members
+            ),
+            "products_finite": (
+                _finite_products(loop) and _finite_products(batch)
+            ),
+        },
+    }
+
+
+# -- driver ----------------------------------------------------------------
+
+def run(tiny: bool) -> dict:
+    """One measurement profile (``tiny`` or ``full``).
+
+    Both profiles sweep **every registered scenario** — the acceptance
+    contract is that the vectorized batch is bitwise-equal to the
+    per-member oracle for each of them, and the gate live-checks that
+    here, not just in the pinned test suite.  ``full`` runs more members
+    and steps; throughput is size-dependent, so the regression gate
+    always compares a profile against the *same-named* baseline profile.
+    """
+    if tiny:
+        members, level, nlev, steps = 3, 3, 6, 13
+    else:
+        members, level, nlev, steps = 4, 3, 8, 26
+    # One SPPT-perturbed point exercises the PerturbedPhysics wrapper on
+    # both paths; the rest run unperturbed physics.
+    sppt_scenario = "doksuri"
+
+    results = {
+        "members": members,
+        "level": level,
+        "nlev": nlev,
+        "steps": steps,
+        "points": {},
+    }
+    print_header(
+        f"ENSEMBLE — {members} members (G{level}, nlev {nlev}, "
+        f"{steps} steps)"
+    )
+    for name in scenario_names():
+        point = bench_scenario(
+            name, members=members, level=level, nlev=nlev, steps=steps,
+            physics_perturbation=0.2 if name == sppt_scenario else 0.0,
+        )
+        results["points"][name] = point
+        ok = all(point["correct"].values())
+        print(f"{name:>14s}: loop {point['loop']['wall_seconds']:6.2f} s  "
+              f"batch {point['batch']['wall_seconds']:6.2f} s  "
+              f"speedup {point['batch_speedup']:5.2f}x  "
+              f"plans {point['loop']['plan_compiles']}/"
+              f"{point['batch']['plan_compiles']}  "
+              f"correct {ok}")
+    return results
+
+
+def _check_profile(res: dict, base: dict, tag: str,
+                   factor: float) -> list[str]:
+    """Compare one measurement profile against its baseline twin."""
+    failures: list[str] = []
+    for name, point in res["points"].items():
+        for gate, value in point["correct"].items():
+            if not value:
+                failures.append(
+                    f"{tag} scenario={name}: correctness gate {gate!r} broken"
+                )
+        base_point = base.get("points", {}).get(name)
+        if base_point is None:
+            continue
+        got, want = point["batch_speedup"], base_point["batch_speedup"]
+        if got < want / factor:
+            failures.append(
+                f"{tag} scenario={name}: batch speedup {got:.2f}x < "
+                f"baseline {want:.2f}x / {factor}"
+            )
+    return failures
+
+
+def check_regression(results: dict, baseline_path: str,
+                     factor: float = 4.0) -> list[str]:
+    """Compare against the committed baseline.
+
+    Absolute wall times are machine-dependent and only *recorded*; the
+    gate enforces the correctness booleans absolutely (bitwise oracle
+    parity, shared-plan compile counts, member distinctness, finite
+    products) and the batch/loop speedup — a ratio of two in-process
+    measurements of the same work — within ``factor`` of the baseline's
+    same-named profile.
+    """
+    baseline = json.loads(Path(baseline_path).read_text())
+    failures: list[str] = []
+    compared = 0
+    for name, res in results["profiles"].items():
+        base = baseline.get("profiles", {}).get(name)
+        if base is None:
+            continue
+        compared += 1
+        failures.extend(_check_profile(res, base, name, factor))
+    if compared == 0:
+        failures.append(
+            f"no profile in {sorted(results['profiles'])} has a baseline "
+            f"twin in {baseline_path}"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--tiny", action="store_true",
+                    help="run only the small smoke profile (CI)")
+    ap.add_argument("--out", default="BENCH_ensemble.json",
+                    help="output JSON path")
+    ap.add_argument("--check", metavar="BASELINE",
+                    help="fail if the batch speedup collapsed >4x against "
+                         "this committed baseline or any correctness "
+                         "boolean broke")
+    args = ap.parse_args(argv)
+
+    results = {
+        "schema": SCHEMA,
+        "generated_unix": time.time(),
+        "profiles": {},
+    }
+    if args.tiny:
+        results["profiles"]["tiny"] = run(tiny=True)
+    else:
+        # The committed baseline carries both profiles so the CI tiny
+        # run always has a like-for-like twin to compare against.
+        results["profiles"]["full"] = run(tiny=False)
+        results["profiles"]["tiny"] = run(tiny=True)
+    Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if args.check:
+        failures = check_regression(results, args.check)
+        if failures:
+            for f in failures:
+                print(f"REGRESSION: {f}", file=sys.stderr)
+            return 1
+        print("regression check against committed baseline: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

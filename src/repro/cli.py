@@ -18,7 +18,11 @@ without writing any Python:
 * ``serve``     — forecast-as-a-service load run: concurrent requests
   through the scheduler/pool/cache, with throughput, p50/p99 latency,
   cache and batching accounting (optionally poisoning some requests to
-  demonstrate per-request fault isolation).
+  demonstrate per-request fault isolation);
+* ``ensemble``  — run N perturbed members of a registered scenario
+  (per-member loop or member-vectorized batch), print spread and
+  probability products, optionally check the batch against the
+  per-member bitwise oracle.
 """
 
 from __future__ import annotations
@@ -301,6 +305,96 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_ensemble(args) -> int:
+    import json as _json
+
+    import numpy as np
+
+    from repro.ensemble import EnsembleRunner
+    from repro.ensemble.scenarios import all_scenarios
+
+    if args.list:
+        print(f"{'name':16s} {'kind':8s} {'steps':>5s} {'scheme':8s} "
+              f"description")
+        for s in all_scenarios():
+            print(f"{s.name:16s} {s.kind:8s} {s.default_steps:5d} "
+                  f"{s.default_scheme:8s} {s.description}")
+        return 0
+
+    runner = EnsembleRunner(
+        scenario=args.scenario, n_members=args.members, seed=args.seed,
+        level=args.level, nlev=args.nlev, steps=args.steps,
+        scheme=args.scheme, perturbation=args.perturbation,
+        physics_perturbation=args.physics_perturbation,
+    )
+    bitwise = None
+    if args.check_oracle:
+        out = runner.check_equivalence()
+        result, oracle = out["batch"], out["loop"]
+        bitwise = out["bitwise_equal"]
+    else:
+        result = runner.run(vectorized=args.vectorized)
+        oracle = None
+
+    if args.json:
+        pr = result.products["mean_precip"]
+        payload = {
+            "scenario": result.scenario,
+            "mode": result.mode,
+            "members": result.n_members,
+            "steps": result.steps,
+            "scheme": result.scheme,
+            "seed": result.seed,
+            "digest": result.digest(),
+            "plan_compiles": result.plan_compiles,
+            "wall_seconds": result.wall_seconds,
+            "max_wind": [m.max_wind for m in result.members],
+            "mean_precip_mm_day": [
+                m.mean_precip * 86400.0 for m in result.members
+            ],
+            "precip_mean_mm_day": float(pr["mean"].mean() * 86400.0),
+            "precip_spread_mm_day": float(pr["spread"].mean() * 86400.0),
+            "precip_exceedance_frac": float(pr["exceedance"].mean()),
+        }
+        if bitwise is not None:
+            payload["bitwise_equal_to_oracle"] = bitwise
+            payload["oracle_wall_seconds"] = oracle.wall_seconds
+        print(_json.dumps(payload, indent=2))
+    else:
+        print(f"ensemble: {result.scenario} x{result.n_members} members, "
+              f"{result.steps} steps, {result.scheme}, seed {result.seed} "
+              f"[{result.mode}]")
+        print(f"  wall {result.wall_seconds:.2f} s, "
+              f"stencil plan compiles {result.plan_compiles}")
+        print(f"  {'member':>6s} {'max wind m/s':>13s} "
+              f"{'mean precip mm/day':>19s}")
+        for m in result.members:
+            print(f"  {m.member:6d} {m.max_wind:13.2f} "
+                  f"{m.mean_precip * 86400.0:19.3f}")
+        pr = result.products["mean_precip"]
+        wind = result.products["wind"]
+        print("  precip products (mm/day): "
+              f"mean {pr['mean'].mean() * 86400.0:.3f}  "
+              f"spread {pr['spread'].mean() * 86400.0:.3f}  "
+              f"p10/p50/p90 "
+              f"{pr['p10'].mean() * 86400.0:.3f}/"
+              f"{pr['p50'].mean() * 86400.0:.3f}/"
+              f"{pr['p90'].mean() * 86400.0:.3f}")
+        print(f"  P(precip > 1 mm/day): {pr['exceedance'].mean():.3f} "
+              f"(area fraction)  "
+              f"P(|wind| > 15 m/s): {wind['exceedance'].mean():.3f}")
+        spread_ratio = np.median(pr["spread_ratio"])
+        print(f"  median precip spread/signal: {spread_ratio:.3f}")
+        if bitwise is not None:
+            verdict = "bitwise-identical" if bitwise else "MISMATCH"
+            print(f"  batch vs per-member oracle: {verdict} "
+                  f"(oracle {oracle.wall_seconds:.2f} s, "
+                  f"batch {result.wall_seconds:.2f} s)")
+    if bitwise is False:
+        return 1
+    return 0
+
+
 def _cmd_profile(args) -> int:
     import json
 
@@ -470,7 +564,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--scheme", default="DP-PHY",
                     help="Table 3 scheme (DP-PHY, MIX-PHY, DP-ML, MIX-ML)")
     sp.add_argument("--scenario", default="tropical",
-                    choices=("tropical", "baroclinic"))
+                    help="registered scenario (see `repro ensemble --list`)")
     sp.add_argument("--ensemble", type=int, default=1,
                     help="ensemble members per request")
     sp.add_argument("--seed", type=int, default=0)
@@ -486,6 +580,37 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--trace-out", default=None,
                     help="write the Chrome trace-event JSON here")
     sp.set_defaults(func=_cmd_serve)
+
+    sp = sub.add_parser(
+        "ensemble",
+        help="run N perturbed members of a registered scenario with "
+             "spread/probability products; --check-oracle pins the "
+             "vectorized batch against the per-member bitwise oracle",
+    )
+    sp.add_argument("--list", action="store_true",
+                    help="list the registered scenarios and exit")
+    sp.add_argument("--scenario", default="tropical",
+                    help="registered scenario name (see --list)")
+    sp.add_argument("--members", type=int, default=4)
+    sp.add_argument("--level", type=int, default=3)
+    sp.add_argument("--nlev", type=int, default=8)
+    sp.add_argument("--steps", type=int, default=None,
+                    help="dynamics steps (default: the scenario's)")
+    sp.add_argument("--scheme", default=None,
+                    help="Table 3 scheme (default: the scenario's)")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--perturbation", type=float, default=0.3,
+                    help="initial theta perturbation amplitude [K]")
+    sp.add_argument("--physics-perturbation", type=float, default=0.0,
+                    help="SPPT-style tendency perturbation amplitude")
+    sp.add_argument("--vectorized", action="store_true",
+                    help="member-vectorized batch instead of the loop")
+    sp.add_argument("--check-oracle", action="store_true",
+                    help="run both modes and verify bitwise equality "
+                         "(exit 1 on mismatch)")
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable JSON instead of the summary")
+    sp.set_defaults(func=_cmd_ensemble)
 
     sp = sub.add_parser(
         "profile",

@@ -334,6 +334,23 @@ def mesh_cache(mesh: Mesh) -> OperatorCache:
     return cache
 
 
+#: Process-lifetime count of kernel-plan compilations (one per
+#: (mesh, backend) pair ever compiled).  Monotone — callers measure
+#: deltas rather than resetting, so concurrent measurements can only
+#: over-count, never hide a compilation.
+_plan_compiles = 0
+
+
+def plan_compile_count() -> int:
+    """Total stencil kernel-plan compilations in this process.
+
+    The ensemble layer's sharing gate: a per-member loop on one warm
+    model and an M-member vectorized batch must each cost exactly one
+    plan compilation (delta == 1), never one per member.
+    """
+    return _plan_compiles
+
+
 def compiled_kernels(mesh: Mesh, backend: str | None = None):
     """The compiled kernel plan of ``mesh`` for ``backend``.
 
@@ -341,6 +358,7 @@ def compiled_kernels(mesh: Mesh, backend: str | None = None):
     and memoised on the mesh; repeated calls — and every operator call —
     return the same published plan object.
     """
+    global _plan_compiles
     name = resolve_backend_name(backend) if backend else bound_backend(mesh)
     plans = getattr(mesh, "_stencil_plans", None)
     if plans is not None:
@@ -356,6 +374,10 @@ def compiled_kernels(mesh: Mesh, backend: str | None = None):
         if plan is None:
             plan = BACKENDS[name](mesh, mesh_cache(mesh))
             plans[name] = plan  # publish only when fully built
+            _plan_compiles += 1
+            from repro.obs import get_metrics
+
+            get_metrics().inc("stencil.plan_compilations")
     return plan
 
 

@@ -1,0 +1,186 @@
+"""Member batching by block-diagonal mesh replication.
+
+The member-vectorized ensemble fast path runs all M members through
+*one* model instead of M sequential runs.  Rather than threading a
+member axis through every operator and physics routine, we exploit the
+fact that the whole model is already vectorised over mesh elements:
+``replicate_mesh`` tiles the mesh M times — geometry arrays repeated,
+connectivity indices offset per copy — producing a valid :class:`Mesh`
+of ``M * nc`` cells whose M blocks are mutually disconnected.  The
+unmodified model then advances M independent members in one pass, with
+one compiled stencil plan and M-times-larger vectorised operations.
+
+Bitwise contract
+----------------
+A batched step is bit-identical, block by block, to the per-member
+serial run because every operation in the model is one of:
+
+* **elementwise** over cells/edges/levels (physics tendencies, RK
+  updates, precision casts) — trivially block-local;
+* **per-column** (``axis=1`` reductions, vertical tridiagonal solves,
+  cumulative integrals) — columns belong to exactly one block;
+* **a gather/scatter through connectivity** — the offset-tiled index
+  tables never cross blocks, ``np.bincount`` accumulates in edge order
+  (block-contiguous), and the reduction *per output element* sees the
+  same operands in the same order as the base mesh;
+* **level-derived scalars** (diffusion/sponge coefficients come from
+  ``mesh.level``, which replication preserves — never from ``nc``).
+
+Global reductions that do mix blocks (history scalars like
+``tskin_mean``, finiteness validation) are diagnostics — they never
+feed back into the prognostics.  ``tests/test_ensemble.py`` pins the
+resulting member-equivalence for every registered scenario, and
+``benchmarks/bench_ensemble.py --check`` live-checks it.
+
+The one exclusion is ML physics: BLAS GEMM results may depend on the
+row count, so the vectorized path refuses ML schemes (the per-member
+loop — the oracle — serves them; same policy as the serving layer's
+probe-gated inference batcher).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.mesh import PAD, Mesh
+
+
+def _tile(a: np.ndarray, n: int) -> np.ndarray:
+    """Repeat ``a`` n times along axis 0 (block layout)."""
+    return np.tile(a, (n,) + (1,) * (a.ndim - 1)) if a.ndim > 1 else np.tile(a, n)
+
+
+def _offset_tile(idx: np.ndarray, count: int, n: int) -> np.ndarray:
+    """Tile an index array n times, offsetting copy ``m`` by ``m*count``
+    and preserving PAD entries."""
+    rep = _tile(idx, n)
+    offsets = np.repeat(np.arange(n, dtype=idx.dtype) * count, idx.shape[0])
+    offsets = offsets.reshape((-1,) + (1,) * (idx.ndim - 1))
+    return np.where(rep == PAD, PAD, rep + offsets)
+
+
+def replicate_mesh(mesh: Mesh, n: int) -> Mesh:
+    """``n`` disconnected copies of ``mesh`` as one block-diagonal mesh.
+
+    Geometry arrays are tiled; connectivity arrays are tiled with
+    per-copy offsets (cell indices by ``m*nc``, edge indices by
+    ``m*ne``, vertex indices by ``m*nv``).  ``level`` and ``radius``
+    are preserved, so every level-derived coefficient (timesteps,
+    diffusion, sponge) matches the base mesh exactly.
+    """
+    if n < 1:
+        raise ValueError("need at least one copy")
+    nc, ne, nv = mesh.nc, mesh.ne, mesh.nv
+    return Mesh(
+        level=mesh.level,
+        radius=mesh.radius,
+        nc=n * nc,
+        ne=n * ne,
+        nv=n * nv,
+        cell_xyz=_tile(mesh.cell_xyz, n),
+        vertex_xyz=_tile(mesh.vertex_xyz, n),
+        edge_xyz=_tile(mesh.edge_xyz, n),
+        cell_lat=_tile(mesh.cell_lat, n),
+        cell_lon=_tile(mesh.cell_lon, n),
+        edge_normal=_tile(mesh.edge_normal, n),
+        edge_tangent=_tile(mesh.edge_tangent, n),
+        de=_tile(mesh.de, n),
+        le=_tile(mesh.le, n),
+        cell_area=_tile(mesh.cell_area, n),
+        vertex_area=_tile(mesh.vertex_area, n),
+        edge_cells=_offset_tile(mesh.edge_cells, nc, n),
+        edge_vertices=_offset_tile(mesh.edge_vertices, nv, n),
+        cell_ne=_tile(mesh.cell_ne, n),
+        cell_edges=_offset_tile(mesh.cell_edges, ne, n),
+        cell_edge_sign=_tile(mesh.cell_edge_sign, n),
+        cell_neighbors=_offset_tile(mesh.cell_neighbors, nc, n),
+        cell_vertices=_offset_tile(mesh.cell_vertices, nv, n),
+        vertex_cells=_offset_tile(mesh.vertex_cells, nc, n),
+        vertex_edges=_offset_tile(mesh.vertex_edges, ne, n),
+        vertex_edge_sign=_tile(mesh.vertex_edge_sign, n),
+        cell_recon=_tile(mesh.cell_recon, n),
+        f_cell=_tile(mesh.f_cell, n),
+        f_edge=_tile(mesh.f_edge, n),
+        f_vertex=_tile(mesh.f_vertex, n),
+    )
+
+
+def replicate_surface(surface, n: int):
+    """``n`` copies of a pristine :class:`SurfaceModel` on the
+    replicated mesh; per-cell arrays tiled, bulk parameters shared."""
+    from repro.physics.surface import SurfaceModel
+
+    return SurfaceModel(
+        land_mask=_tile(surface.land_mask, n),
+        sst=_tile(surface.sst, n),
+        t_land=_tile(surface.t_land, n),
+        heat_capacity=surface.heat_capacity,
+        drag_coefficient=surface.drag_coefficient,
+        albedo_ocean=surface.albedo_ocean,
+        albedo_land=surface.albedo_land,
+        emissivity=surface.emissivity,
+        beta_land=surface.beta_land,
+    )
+
+
+def stack_states(rmesh: Mesh, states: list):
+    """Concatenate per-member states (built on the base mesh) into one
+    batched state on the replicated mesh.
+
+    Member initial conditions are constructed on the *base* mesh — the
+    identical arrays the per-member oracle starts from — and
+    concatenated, so batch and oracle start bit-identical by
+    construction.
+    """
+    from repro.dycore.state import ModelState
+
+    if not states:
+        raise ValueError("need at least one member state")
+    first = states[0]
+
+    def cat(name):
+        return np.concatenate([getattr(s, name) for s in states], axis=0)
+
+    tracers = {
+        k: np.concatenate([s.tracers[k] for s in states], axis=0)
+        for k in first.tracers
+    }
+    return ModelState(
+        mesh=rmesh,
+        vcoord=first.vcoord,
+        ps=cat("ps"),
+        u=cat("u"),
+        theta=cat("theta"),
+        w=cat("w"),
+        phi=cat("phi"),
+        phi_surface=cat("phi_surface"),
+        tracers=tracers,
+        time=first.time,
+    )
+
+
+def member_state(batched, base_mesh: Mesh, member: int):
+    """Member ``member``'s block of a batched state, as a standalone
+    state on the base mesh (copies, safe to mutate)."""
+    from repro.dycore.state import ModelState
+
+    nc, ne = base_mesh.nc, base_mesh.ne
+    c = slice(member * nc, (member + 1) * nc)
+    e = slice(member * ne, (member + 1) * ne)
+    return ModelState(
+        mesh=base_mesh,
+        vcoord=batched.vcoord,
+        ps=batched.ps[c].copy(),
+        u=batched.u[e].copy(),
+        theta=batched.theta[c].copy(),
+        w=batched.w[c].copy(),
+        phi=batched.phi[c].copy(),
+        phi_surface=batched.phi_surface[c].copy(),
+        tracers={k: v[c].copy() for k, v in batched.tracers.items()},
+        time=batched.time,
+    )
+
+
+__all__ = [
+    "replicate_mesh", "replicate_surface", "stack_states", "member_state",
+]

@@ -1,0 +1,92 @@
+"""Ensemble spread and probability products.
+
+Pure functions over member-stacked arrays (leading axis = member), used
+by the :class:`~repro.ensemble.runner.EnsembleRunner` and by the
+tendency-network ensemble (:mod:`repro.ml.ensemble` folds its
+spread-to-signal machinery in from here).  The statistical contracts —
+mean inside the member envelope, percentiles monotone in the quantile,
+exceedance equal to the mean of indicator fields — are pinned by
+``tests/test_ensemble.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ensemble_mean(stack: np.ndarray) -> np.ndarray:
+    """Member mean; always inside the pointwise member min/max envelope."""
+    return np.asarray(stack).mean(axis=0)
+
+
+def ensemble_spread(stack: np.ndarray) -> np.ndarray:
+    """Member standard deviation (population, ddof=0)."""
+    return np.asarray(stack).std(axis=0)
+
+
+def ensemble_percentiles(stack: np.ndarray, qs) -> np.ndarray:
+    """Member percentiles, shape ``(len(qs),) + field_shape``.
+
+    Linear interpolation between order statistics — monotone
+    (non-decreasing) in ``q`` pointwise by construction.
+    """
+    return np.percentile(np.asarray(stack), list(qs), axis=0)
+
+
+def exceedance_probability(stack: np.ndarray, threshold: float) -> np.ndarray:
+    """P(field > threshold): the mean of the member indicator fields —
+    an unweighted-ensemble probability map in [0, 1]."""
+    return (np.asarray(stack) > threshold).mean(axis=0)
+
+
+def spread_to_signal(
+    mean: np.ndarray, spread: np.ndarray, eps: float = 1e-12
+) -> np.ndarray:
+    """Spread-to-signal ratio ``spread / (|mean| + eps)``.
+
+    The extrapolation-detection statistic of Han et al. 2023: large
+    member disagreement relative to the agreed signal flags inputs the
+    members were not trained (or, for model ensembles, initialised)
+    for.  Finite whenever the inputs are.
+    """
+    return spread / (np.abs(mean) + eps)
+
+
+def ensemble_products(
+    stacks: dict,
+    percentiles=(10.0, 50.0, 90.0),
+    thresholds: dict | None = None,
+) -> dict:
+    """The standard product set per field.
+
+    ``stacks`` maps field name to an ``(M, ...)`` member stack; the
+    result maps field name to a dict of ``mean``, ``spread``,
+    ``spread_ratio``, ``p<q>`` per requested percentile, and — where
+    ``thresholds`` provides one — ``exceedance`` plus the threshold
+    echoed back as ``threshold``.
+    """
+    thresholds = thresholds or {}
+    out = {}
+    for name, stack in stacks.items():
+        stack = np.asarray(stack)
+        mean = ensemble_mean(stack)
+        spread = ensemble_spread(stack)
+        prod = {
+            "mean": mean,
+            "spread": spread,
+            "spread_ratio": spread_to_signal(mean, spread),
+        }
+        pct = ensemble_percentiles(stack, percentiles)
+        for q, row in zip(percentiles, pct):
+            prod[f"p{q:g}"] = row
+        if name in thresholds:
+            prod["threshold"] = float(thresholds[name])
+            prod["exceedance"] = exceedance_probability(stack, thresholds[name])
+        out[name] = prod
+    return out
+
+
+__all__ = [
+    "ensemble_mean", "ensemble_spread", "ensemble_percentiles",
+    "exceedance_probability", "spread_to_signal", "ensemble_products",
+]

@@ -1,0 +1,347 @@
+"""The ensemble engine: N perturbed members, loop oracle + batched fast path.
+
+:class:`EnsembleRunner` executes N ensemble members of a registered
+scenario — perturbed initial conditions (seeded ``[seed, member]``
+theta noise) and optionally perturbed physics (SPPT-style multiplicative
+tendency factors, seeded ``[seed, member, SPPT_STREAM]``) — and derives
+spread/probability products from the member results.
+
+Two execution modes, one bitwise contract:
+
+* ``run()`` — the **per-member loop**, the bitwise oracle: one shared
+  warm model (or a model acquired from a serving
+  :class:`~repro.serve.pool.ModelPool` when the configs match), reset
+  bit-exactly between members, exactly the serving scheduler's member
+  execution.  Stencil plans compile once for the shared mesh, not once
+  per member.
+* ``run(vectorized=True)`` — the **member-vectorized batch**: all M
+  members advance through one model on a block-diagonal replicated mesh
+  (see :mod:`repro.ensemble.batch`), M-times-larger vectorised
+  operations, still exactly one stencil plan compilation.  Bit-identical
+  to the loop, member by member — pinned per scenario by
+  ``tests/test_ensemble.py`` and live-checked by
+  ``benchmarks/bench_ensemble.py --check``.  ML physics schemes are
+  refused here (BLAS row-count nondeterminism); the loop serves them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.ensemble.batch import (
+    member_state as _member_block,
+    replicate_mesh,
+    replicate_surface,
+    stack_states,
+)
+from repro.ensemble.products import ensemble_products
+from repro.ensemble.scenarios import (
+    Scenario,
+    build_scenario_model,
+    get_scenario,
+    physics_perturbation_factors,
+)
+
+#: Exceedance thresholds of the default product set.
+PRECIP_THRESHOLD = 1.0 / 86400.0     # 1 mm/day in kg/m^2/s
+WIND_THRESHOLD = 15.0                # m/s
+
+
+class PerturbedPhysics:
+    """SPPT-style multiplicative perturbation around a physics suite.
+
+    Scales the thermodynamic/moisture tendencies by a fixed per-cell
+    factor field (one draw per member); diagnostics (precip, radiation,
+    skin temperature) are reported unscaled.  Delegates through the
+    same ``compute_from_coupler``-preferring protocol the model uses,
+    and exposes the wrapped suite as ``primary`` so the model's
+    snapshot/restore machinery unwraps it transparently.
+    """
+
+    def __init__(self, primary, factors: np.ndarray):
+        self.primary = primary
+        self.factors = np.asarray(factors)
+
+    def _scale(self, tend):
+        f = self.factors[:, None]
+        return replace(
+            tend,
+            dtheta=tend.dtheta * f,
+            dqv=tend.dqv * f,
+            dqc=tend.dqc * f,
+            dqr=tend.dqr * f,
+        )
+
+    def compute(self, state, wind_speed_sfc):
+        return self._scale(self.primary.compute(state, wind_speed_sfc))
+
+    def compute_from_coupler(self, state, fields):
+        if hasattr(self.primary, "compute_from_coupler"):
+            return self._scale(self.primary.compute_from_coupler(state, fields))
+        return self._scale(self.primary.compute(state, fields.wind_speed_sfc))
+
+
+@dataclass(frozen=True)
+class EnsembleResult:
+    """All members of one ensemble run plus derived products."""
+
+    scenario: str
+    level: int
+    nlev: int
+    steps: int
+    scheme: str
+    seed: int
+    n_members: int
+    mode: str                  # "loop" | "batch"
+    members: tuple             # MemberResult per member
+    products: dict             # field -> product dict (see ensemble_products)
+    plan_compiles: int         # stencil plan compilations this run caused
+    wall_seconds: float = 0.0
+
+    def digest(self) -> str:
+        """One digest over the member states — the run's identity."""
+        h = hashlib.sha256()
+        for m in self.members:
+            h.update(m.digest.encode())
+        return h.hexdigest()
+
+    def member_digests(self) -> tuple:
+        return tuple(m.digest for m in self.members)
+
+
+class EnsembleRunner:
+    """Run N perturbed members of a registered scenario."""
+
+    def __init__(
+        self,
+        scenario: Scenario | str = "tropical",
+        n_members: int = 4,
+        seed: int = 0,
+        level: int = 3,
+        nlev: int = 8,
+        steps: int | None = None,
+        scheme: str | None = None,
+        perturbation: float = 0.3,
+        physics_perturbation: float = 0.0,
+        pool=None,
+        stencil_backend: str | None = None,
+    ):
+        self.scenario = (
+            get_scenario(scenario) if isinstance(scenario, str) else scenario
+        )
+        if n_members < 1:
+            raise ValueError("n_members must be >= 1")
+        self.n_members = n_members
+        self.seed = seed
+        self.level = level
+        self.nlev = nlev
+        self.steps = self.scenario.default_steps if steps is None else steps
+        self.scheme = self.scenario.default_scheme if scheme is None else scheme
+        self.perturbation = perturbation
+        self.physics_perturbation = physics_perturbation
+        self.pool = pool
+        self.stencil_backend = stencil_backend
+
+    # -- serving-schema view ---------------------------------------------
+    def request(self):
+        """This ensemble as a :class:`ForecastRequest` (the pool key and
+        the cache-addressable identity of the unperturbed-physics run)."""
+        from repro.serve.request import ForecastRequest
+
+        return ForecastRequest(
+            level=self.level, nlev=self.nlev, steps=self.steps,
+            scenario=self.scenario.name, ensemble_size=self.n_members,
+            seed=self.seed, scheme=self.scheme,
+            perturbation=self.perturbation,
+        )
+
+    # -- internals -------------------------------------------------------
+    def _member_result(self, member: int, state, precip_steps: list):
+        """Uniform member-result construction for both execution modes:
+        final prognostics plus the member's time-mean precipitation."""
+        from repro.serve.request import MemberResult, state_digest
+
+        fields = {
+            "ps": state.ps.copy(),
+            "u": state.u.copy(),
+            "theta": state.theta.copy(),
+            "w": state.w.copy(),
+            "phi": state.phi.copy(),
+        }
+        for k, v in state.tracers.items():
+            fields[f"tracer.{k}"] = v.copy()
+        if precip_steps:
+            mean_rain = np.mean(np.array(precip_steps), axis=0)
+            mean_precip = float(mean_rain.mean())
+        else:
+            mean_rain = np.zeros_like(state.ps)
+            mean_precip = 0.0
+        fields["diag.mean_precip"] = mean_rain
+        return MemberResult(
+            member=member,
+            fields=fields,
+            digest=state_digest(state),
+            max_wind=float(np.abs(state.u).max()),
+            mean_precip=mean_precip,
+        )
+
+    def _wrap_physics(self, model, factors: np.ndarray):
+        model.physics = PerturbedPhysics(model.physics, factors)
+
+    def _unwrap_physics(self, model):
+        if isinstance(model.physics, PerturbedPhysics):
+            model.physics = model.physics.primary
+
+    def _products(self, members: tuple) -> dict:
+        stacks = {
+            "mean_precip": np.stack(
+                [m.fields["diag.mean_precip"] for m in members]
+            ),
+            "wind": np.stack(
+                [np.abs(m.fields["u"]).max(axis=1) for m in members]
+            ),
+        }
+        return ensemble_products(
+            stacks,
+            thresholds={
+                "mean_precip": PRECIP_THRESHOLD, "wind": WIND_THRESHOLD,
+            },
+        )
+
+    def _build_model(self, mesh=None, surface=None):
+        return build_scenario_model(
+            self.scenario, self.level, self.nlev, self.scheme,
+            mesh=mesh, surface=surface,
+            stencil_backend=self.stencil_backend,
+        )
+
+    def _result(self, mode, members, compiles, t0):
+        return EnsembleResult(
+            scenario=self.scenario.name, level=self.level, nlev=self.nlev,
+            steps=self.steps, scheme=self.scheme, seed=self.seed,
+            n_members=self.n_members, mode=mode, members=tuple(members),
+            products=self._products(tuple(members)),
+            plan_compiles=compiles,
+            wall_seconds=time.perf_counter() - t0,
+        )
+
+    # -- execution -------------------------------------------------------
+    def run(self, vectorized: bool = False) -> EnsembleResult:
+        if vectorized:
+            return self._run_batch()
+        return self._run_loop()
+
+    def _run_loop(self) -> EnsembleResult:
+        """The per-member loop on one shared warm model — the oracle."""
+        from repro.dycore.stencil import plan_compile_count
+
+        t0 = time.perf_counter()
+        c0 = plan_compile_count()
+        request = None
+        if self.pool is not None:
+            request = self.request()
+            model = self.pool.acquire(request)
+        else:
+            model = self._build_model()
+        members = []
+        try:
+            for member in range(self.n_members):
+                if member > 0:
+                    model.reset()
+                state = self.scenario.member_state(
+                    model.mesh, model.vcoord, member, self.seed,
+                    self.perturbation,
+                )
+                if self.physics_perturbation > 0.0:
+                    self._wrap_physics(model, physics_perturbation_factors(
+                        model.mesh.nc, self.seed, member,
+                        self.physics_perturbation,
+                    ))
+                try:
+                    state = model.run(state, self.steps)
+                finally:
+                    self._unwrap_physics(model)
+                members.append(self._member_result(
+                    member, state, list(model.history.precip)
+                ))
+        finally:
+            if self.pool is not None:
+                self.pool.release(request, model)
+        return self._result(
+            "loop", members, plan_compile_count() - c0, t0
+        )
+
+    def _run_batch(self) -> EnsembleResult:
+        """The member-vectorized batch on a replicated mesh."""
+        from repro.dycore.stencil import plan_compile_count
+        from repro.dycore.vertical import VerticalCoordinate
+        from repro.grid import build_mesh
+        from repro.model.config import TABLE3_SCHEMES
+
+        if TABLE3_SCHEMES[self.scheme].ml_physics:
+            raise ValueError(
+                "the vectorized fast path covers conventional-physics "
+                "schemes only (ML inference is not bitwise under row-count "
+                "changes); run the per-member loop for ML schemes"
+            )
+        t0 = time.perf_counter()
+        c0 = plan_compile_count()
+        n = self.n_members
+        base_mesh = build_mesh(self.level)
+        vc = VerticalCoordinate.stretched(self.nlev)
+        rmesh = replicate_mesh(base_mesh, n)
+        surface = replicate_surface(
+            self.scenario.build_surface(base_mesh), n
+        )
+        model = self._build_model(mesh=rmesh, surface=surface)
+        # Member ICs are built on the *base* mesh — the identical arrays
+        # the oracle starts from — then concatenated.
+        states = [
+            self.scenario.member_state(
+                base_mesh, vc, m, self.seed, self.perturbation
+            )
+            for m in range(n)
+        ]
+        state = stack_states(rmesh, states)
+        if self.physics_perturbation > 0.0:
+            self._wrap_physics(model, np.concatenate([
+                physics_perturbation_factors(
+                    base_mesh.nc, self.seed, m, self.physics_perturbation
+                )
+                for m in range(n)
+            ]))
+        try:
+            state = model.run(state, self.steps)
+        finally:
+            self._unwrap_physics(model)
+        nc = base_mesh.nc
+        members = []
+        for m in range(n):
+            block = _member_block(state, base_mesh, m)
+            precip = [p[m * nc:(m + 1) * nc] for p in model.history.precip]
+            members.append(self._member_result(m, block, precip))
+        return self._result(
+            "batch", members, plan_compile_count() - c0, t0
+        )
+
+    def check_equivalence(self) -> dict:
+        """Run both modes and compare member digests — the live bitwise
+        check behind ``repro ensemble --check-oracle`` and the
+        benchmark's correctness gate."""
+        loop = self.run(vectorized=False)
+        batch = self.run(vectorized=True)
+        return {
+            "bitwise_equal": loop.member_digests() == batch.member_digests(),
+            "loop": loop,
+            "batch": batch,
+        }
+
+
+__all__ = [
+    "EnsembleResult", "EnsembleRunner", "PerturbedPhysics",
+    "PRECIP_THRESHOLD", "WIND_THRESHOLD",
+]

@@ -11,8 +11,11 @@ spread-based trust mask that damps the prediction where members diverge.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
+from repro.ensemble.products import spread_to_signal
 from repro.ml.tendency_net import TendencyCNN
 from repro.ml.training import Trainer
 
@@ -45,6 +48,15 @@ class TendencyEnsemble:
         #: resilience layer's ML guard reads this to decide when member
         #: disagreement warrants falling back to conventional physics.
         self.last_max_spread_ratio = 0.0
+        #: Per-input member-stats cache: (input token, mean, spread).
+        #: :meth:`predict` is often called right after the guard layer
+        #: probed the same input — without the cache every call re-ran
+        #: every member's forward pass.  Keyed by content digest, so two
+        #: calls on an unchanged input are byte-identical and free.
+        self._stats_cache = None
+        #: Number of times the member forward passes actually ran
+        #: (cache misses) — the regression hook for the caching test.
+        self.stat_recomputes = 0
 
     @property
     def n_members(self) -> int:
@@ -65,6 +77,7 @@ class TendencyEnsemble:
         """Train every member on the same data with different shuffling
         (initialisations already differ); returns final train losses."""
         losses = []
+        self._stats_cache = None   # weights change: cached stats are stale
         for k, member in enumerate(self.members):
             member.fit_normalizers(x, y)
             trainer = Trainer(member.net, lr=lr)
@@ -79,9 +92,28 @@ class TendencyEnsemble:
         return losses
 
     def predict_with_spread(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Ensemble mean and member standard deviation, physical units."""
+        """Ensemble mean and member standard deviation, physical units.
+
+        Member stats are cached per input (content-digest keyed): a
+        repeated call on an unchanged input returns the cached arrays
+        byte-identically without re-running any member.  The returned
+        arrays are marked read-only — they may be served again.
+        """
+        x = np.asarray(x)
+        token = (
+            x.shape, x.dtype.str,
+            hashlib.sha256(np.ascontiguousarray(x).tobytes()).digest(),
+        )
+        if self._stats_cache is not None and self._stats_cache[0] == token:
+            _, mean, spread = self._stats_cache
+            return mean, spread
         preds = np.stack([m.predict(x) for m in self.members])
-        return preds.mean(axis=0), preds.std(axis=0)
+        mean, spread = preds.mean(axis=0), preds.std(axis=0)
+        mean.flags.writeable = False
+        spread.flags.writeable = False
+        self.stat_recomputes += 1
+        self._stats_cache = (token, mean, spread)
+        return mean, spread
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Spread-damped ensemble mean.
@@ -94,8 +126,7 @@ class TendencyEnsemble:
         if self.n_members == 1:
             self.last_max_spread_ratio = 0.0
             return mean
-        signal = np.abs(mean) + 1e-12
-        ratio = spread / signal
+        ratio = spread_to_signal(mean, spread)
         self.last_max_spread_ratio = float(ratio.max()) if ratio.size else 0.0
         damp = np.clip(self.spread_threshold / np.maximum(ratio, 1e-12), 0.0, 1.0)
         return mean * damp

@@ -118,14 +118,26 @@ class GristModel:
 
     # -- mutable-state snapshot/restore (rollback + warm reuse) ----------
     def _physics_suites(self) -> list:
-        """Every underlying suite, unwrapping a resilience wrapper."""
-        phys = self.physics
-        if hasattr(phys, "primary"):
-            return [
-                s for s in (phys.primary, getattr(phys, "fallback", None))
-                if s is not None
-            ]
-        return [phys]
+        """Every underlying suite, unwrapping wrapper chains.
+
+        Wrappers expose the wrapped suite as ``primary`` (plus an
+        optional ``fallback``); unwrapping is recursive so stacked
+        wrappers — e.g. the ensemble layer's ``PerturbedPhysics`` around
+        the serving layer's ``ResilientPhysics`` — stay snapshot- and
+        reset-transparent.  Order is primary-first depth-first, matching
+        the single-level order snapshots were taken with before.
+        """
+        suites: list = []
+        stack = [self.physics]
+        while stack:
+            phys = stack.pop(0)
+            if phys is None:
+                continue
+            if hasattr(phys, "primary"):
+                stack = [phys.primary, getattr(phys, "fallback", None)] + stack
+            else:
+                suites.append(phys)
+        return suites
 
     def snapshot_mutable(self) -> dict:
         """Bit-exact copy of every mutable side store outside the state.

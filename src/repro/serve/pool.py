@@ -25,38 +25,30 @@ from __future__ import annotations
 
 import threading
 
-import numpy as np
-
-from repro.model.config import TABLE3_SCHEMES, scaled_grid_config
+from repro.model.config import TABLE3_SCHEMES
 from repro.obs import get_metrics
 from repro.precision.policy import PrecisionPolicy
-from repro.resilience.recovery import ResilientPhysics
-from repro.serve.batch import (
-    BatchedRadiationNet,
-    BatchedTendencyNet,
-    InferenceBatcher,
-)
+from repro.serve.batch import InferenceBatcher
 from repro.serve.request import ForecastRequest
 
 
 def make_member_state(model, request: ForecastRequest, member: int):
     """Deterministic initial state for one ensemble member.
 
-    The member RNG is seeded ``[seed, member]``, so member *m* of a
-    request is the same state no matter which pooled model runs it, and
-    distinct members perturb independently.
+    Delegates to the scenario registry
+    (:meth:`~repro.ensemble.scenarios.Scenario.member_state`); the
+    member RNG is seeded ``[seed, member]``, so member *m* of a request
+    is the same state no matter which pooled model runs it, and
+    distinct members perturb independently.  For the legacy
+    ``tropical``/``baroclinic`` scenarios the construction is
+    byte-identical to the pre-registry code.
     """
-    from repro.dycore.state import baroclinic_wave_state, tropical_profile_state
+    from repro.ensemble.scenarios import get_scenario
 
-    if request.scenario == "tropical":
-        state = tropical_profile_state(model.mesh, model.vcoord, rh_surface=0.85)
-    else:
-        state = baroclinic_wave_state(model.mesh, model.vcoord)
-    rng = np.random.default_rng([request.seed, member])
-    state.theta = state.theta + request.perturbation * rng.normal(
-        size=state.theta.shape
+    return get_scenario(request.scenario).member_state(
+        model.mesh, model.vcoord, member=member, seed=request.seed,
+        perturbation=request.perturbation,
     )
-    return state
 
 
 def build_forecast_model(
@@ -86,53 +78,20 @@ def build_forecast_model(
     networks and batchers: ``{"tendency": (net, batcher), "radiation":
     (net, batcher)}``.  When given, the suite's nets are the batching
     proxies over those shared weights.
+
+    The scenario component of the key now matters: construction goes
+    through the scenario registry
+    (:func:`~repro.ensemble.scenarios.build_scenario_model`), which
+    carries each scenario's surface (SST boost), solar geometry and
+    dycore overrides — byte-identical to the old inline construction
+    for the legacy ``tropical``/``baroclinic`` scenarios.
     """
-    from repro.dycore.stencil import default_backend
-    from repro.dycore.vertical import VerticalCoordinate
-    from repro.grid import build_mesh
-    from repro.model.grist import GristModel
-    from repro.physics.column import PhysicsConfig, PhysicsSuite
-    from repro.physics.surface import (
-        SurfaceModel,
-        idealized_land_mask,
-        idealized_sst,
-    )
+    from repro.ensemble.scenarios import build_scenario_model
 
-    if stencil_backend is None:
-        stencil_backend = default_backend()
-    level, nlev, scheme_label, _scenario = model_key
-    scheme = TABLE3_SCHEMES[scheme_label]
-    mesh = build_mesh(level)
-    vc = VerticalCoordinate.stretched(nlev)
-    gc = scaled_grid_config(level, nlev)
-    surface = SurfaceModel(
-        land_mask=idealized_land_mask(mesh.cell_lat, mesh.cell_lon),
-        sst=idealized_sst(mesh.cell_lat),
-    )
-    if scheme.ml_physics:
-        from repro.ml.suite import MLPhysicsSuite
-
-        suite = MLPhysicsSuite.seeded(
-            mesh, vc, surface,
-            precision=PrecisionPolicy(mixed=True) if scheme.mixed_precision else None,
-        )
-        if shared_nets is not None:
-            tn, t_batcher = shared_nets["tendency"]
-            rn, r_batcher = shared_nets["radiation"]
-            suite.tendency_net = BatchedTendencyNet(tn, t_batcher)
-            suite.radiation_net = BatchedRadiationNet(rn, r_batcher)
-    else:
-        suite = PhysicsSuite(
-            mesh, vc, surface,
-            config=PhysicsConfig(
-                dt_physics=gc.dt_physics, rad_ratio=gc.radiation_ratio,
-            ),
-        )
-    physics = ResilientPhysics(primary=suite, fallback=None, surface=surface)
-    return GristModel(
-        mesh, vc, gc, scheme,
-        surface=surface, physics_suite=physics, validate_state=True,
-        dycore_kwargs={"stencil_backend": stencil_backend},
+    level, nlev, scheme_label, scenario = model_key
+    return build_scenario_model(
+        scenario, level, nlev, scheme_label,
+        shared_nets=shared_nets, stencil_backend=stencil_backend,
     )
 
 

@@ -19,12 +19,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.ensemble.scenarios import scenario_names
+
 #: Bump when the request encoding or the result contents change shape —
 #: old cache entries must never satisfy new requests.
 CACHE_SCHEMA = "forecast/1"
 
-#: Initial-condition scenarios the serving layer can build.
-SCENARIOS = ("tropical", "baroclinic")
+#: Initial-condition scenarios the serving layer can build — the
+#: ensemble layer's scenario registry (legacy ``tropical``/
+#: ``baroclinic`` first; their canonical encodings, and therefore every
+#: pre-registry cache key, are unchanged).
+SCENARIOS = scenario_names()
 
 #: Table 3 scheme labels accepted by the server.
 SCHEMES = ("DP-PHY", "MIX-PHY", "DP-ML", "MIX-ML")
@@ -44,9 +49,12 @@ class ForecastRequest:
     perturbation: float = 0.3  # initial theta perturbation amplitude [K]
 
     def __post_init__(self):
-        if self.scenario not in SCENARIOS:
+        # Checked against the *live* registry, not the import-time
+        # SCENARIOS snapshot: scenarios registered later are servable.
+        if self.scenario not in scenario_names():
             raise ValueError(
-                f"unknown scenario {self.scenario!r}; known: {SCENARIOS}"
+                f"unknown scenario {self.scenario!r}; "
+                f"known: {scenario_names()}"
             )
         if self.scheme not in SCHEMES:
             raise ValueError(

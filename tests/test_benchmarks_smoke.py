@@ -200,6 +200,59 @@ class TestSubstrateBench:
         assert set(baseline["profiles"]) >= {"tiny", "full"}
 
 
+class TestEnsembleBench:
+    """The ensemble-engine driver: JSON shape, the per-scenario bitwise
+    booleans, and the profile-matched regression gate."""
+
+    def test_tiny_run_and_check(self, tmp_path):
+        import json
+
+        from benchmarks import bench_ensemble as m
+        from repro.ensemble import scenario_names
+
+        out = tmp_path / "bench.json"
+        rc = m.main(["--tiny", "--out", str(out)])
+        assert rc == 0
+        res = json.loads(out.read_text())
+        assert res["schema"] == m.SCHEMA
+        assert set(res["profiles"]) == {"tiny"}
+        p = res["profiles"]["tiny"]
+        # Every registered scenario was swept, and each honoured the
+        # bitwise oracle + shared-plan contract.
+        assert set(p["points"]) == set(scenario_names())
+        for name, point in p["points"].items():
+            assert all(point["correct"].values()), (name, point["correct"])
+            assert point["loop"]["wall_seconds"] > 0
+            assert point["batch"]["wall_seconds"] > 0
+
+        # The gate passes against its own numbers...
+        assert m.check_regression(res, str(out)) == []
+        # ...trips on a baseline claiming a much larger speedup...
+        fake = json.loads(out.read_text())
+        fake["profiles"]["tiny"]["points"]["tropical"]["batch_speedup"] = 1e9
+        fake_path = tmp_path / "fake.json"
+        fake_path.write_text(json.dumps(fake))
+        assert m.check_regression(res, str(fake_path))
+        # ...and fails loudly when no profile has a baseline twin.
+        orphan = {"schema": m.SCHEMA,
+                  "profiles": {"full": res["profiles"]["tiny"]}}
+        orphan_path = tmp_path / "orphan.json"
+        orphan_path.write_text(json.dumps(orphan))
+        assert m.check_regression(res, str(orphan_path))
+
+    def test_committed_baseline_has_both_profiles(self):
+        import json
+        from pathlib import Path
+
+        baseline = json.loads(
+            (Path(__file__).parent.parent / "BENCH_ensemble.json").read_text()
+        )
+        assert set(baseline["profiles"]) >= {"tiny", "full"}
+        for profile in baseline["profiles"].values():
+            for point in profile["points"].values():
+                assert all(point["correct"].values())
+
+
 class TestFigureDriversTinySize:
     """fig7/fig8 take minutes full-size; smoke their drivers tiny."""
 

@@ -78,3 +78,65 @@ class TestEnsemble:
     def test_zero_members_rejected(self):
         with pytest.raises(ValueError):
             TendencyEnsemble(nlev=4, n_members=0)
+
+
+class TestSpreadCache:
+    """The per-input member-stats cache: repeated calls on the same
+    input must not re-run the member forward passes."""
+
+    @staticmethod
+    def _fresh(seed: int) -> np.ndarray:
+        """An input no other test has fed the module-scoped ensemble —
+        the cache holds one entry, so reuse would alias across tests."""
+        return np.random.default_rng(100 + seed).normal(size=(20, 5, 6))
+
+    def test_repeat_call_is_byte_identical_without_recompute(self, trained):
+        ens, *_ = trained
+        x = self._fresh(0)
+        before = ens.stat_recomputes
+        mean1, spread1 = ens.predict_with_spread(x)
+        assert ens.stat_recomputes == before + 1
+        mean2, spread2 = ens.predict_with_spread(x)
+        # Second call: zero forward passes, the same bytes back.
+        assert ens.stat_recomputes == before + 1
+        assert mean1.tobytes() == mean2.tobytes()
+        assert spread1.tobytes() == spread2.tobytes()
+        assert mean2 is mean1 and spread2 is spread1
+
+    def test_predict_reuses_guard_probe_stats(self, trained):
+        """The common serving pattern — a guard probes the spread, then
+        predict() runs on the same input — costs one member sweep."""
+        ens, *_ = trained
+        x = self._fresh(1)
+        before = ens.stat_recomputes
+        ens.predict_with_spread(x)
+        ens.predict(x)
+        assert ens.stat_recomputes == before + 1
+
+    def test_changed_input_misses(self, trained):
+        ens, *_ = trained
+        before = ens.stat_recomputes
+        ens.predict_with_spread(self._fresh(2))
+        ens.predict_with_spread(self._fresh(3))
+        assert ens.stat_recomputes == before + 2
+
+    def test_cached_arrays_are_read_only(self, trained):
+        ens, *_ = trained
+        mean, spread = ens.predict_with_spread(self._fresh(4))
+        with pytest.raises(ValueError):
+            mean[0, 0, 0] = 1.0
+        with pytest.raises(ValueError):
+            spread[0, 0, 0] = 1.0
+
+    def test_fit_invalidates_cache(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(120, 5, 4))
+        y = rng.normal(size=(120, 2, 4))
+        ens = TendencyEnsemble(nlev=4, n_members=2, width=8, n_resunits=1)
+        ens.fit(x, y, epochs=1)
+        mean1, _ = ens.predict_with_spread(x[:10])
+        ens.fit(x, y, epochs=1)
+        mean2, _ = ens.predict_with_spread(x[:10])
+        # Weights changed: the stale stats must not be served back.
+        assert ens.stat_recomputes == 2
+        assert mean1.tobytes() != mean2.tobytes()
