@@ -326,6 +326,7 @@ def _cmd_ensemble(args) -> int:
         level=args.level, nlev=args.nlev, steps=args.steps,
         scheme=args.scheme, perturbation=args.perturbation,
         physics_perturbation=args.physics_perturbation,
+        workers=args.workers,
     )
     bitwise = None
     if args.check_oracle:
@@ -404,7 +405,7 @@ def _cmd_profile(args) -> int:
     result = run_profile(
         level=args.level, nlev=args.nlev, steps=args.steps, seed=args.seed,
         compare_model=args.compare_model, ranks=args.ranks,
-        workers=args.workers,
+        workers=args.workers, overlap=args.overlap,
     )
     tracer = result.pop("tracer")
     if args.trace_out:
@@ -439,6 +440,16 @@ def _cmd_profile(args) -> int:
                 line += (f" (serial {d['serial_wall_seconds']:.3f}s, "
                          f"bitwise equal: {d['bitwise_vs_serial']})")
             print(line)
+            if "overlap" in d:
+                o = d["overlap"]
+                proj = o["projection"]
+                print(f"overlapped: {o['backend']} backend, "
+                      f"{o['wall_seconds']:.3f}s, "
+                      f"{o['stats']['overlap_fraction'] * 100:.0f}% of "
+                      f"exchange hidden, contract ok: {o['contract_ok']}; "
+                      f"projected G12 "
+                      f"{proj['baseline']['G12_sdpd']:.1f} -> "
+                      f"{proj['overlapped']['G12_sdpd']:.1f} SDPD")
         if args.compare_model:
             print(f"\n{'kernel':38s} {'elems':>9s} {'predicted us':>13s} "
                   f"{'traced us':>11s} {'rel err':>8s}")
@@ -603,6 +614,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="initial theta perturbation amplitude [K]")
     sp.add_argument("--physics-perturbation", type=float, default=0.0,
                     help="SPPT-style tendency perturbation amplitude")
+    sp.add_argument("--workers", type=int, default=1,
+                    help="fork this many member-sharded processes for the "
+                         "loop mode (digest-identical to the serial loop)")
     sp.add_argument("--vectorized", action="store_true",
                     help="member-vectorized batch instead of the loop")
     sp.add_argument("--check-oracle", action="store_true",
@@ -636,6 +650,12 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--workers", type=int, default=1,
                     help="rank-stepping worker processes for --ranks; >1 "
                          "adds a bitwise serial-vs-parallel check")
+    sp.add_argument("--overlap", action="store_true",
+                    help="with --ranks: also run the overlapped interior/"
+                         "boundary executor, check its equality contract "
+                         "against the serial oracle, and project the "
+                         "measured overlap fraction through the scaling "
+                         "model")
     sp.set_defaults(func=_cmd_profile)
     return p
 

@@ -129,6 +129,7 @@ class EnsembleRunner:
         physics_perturbation: float = 0.0,
         pool=None,
         stencil_backend: str | None = None,
+        workers: int = 1,
     ):
         self.scenario = (
             get_scenario(scenario) if isinstance(scenario, str) else scenario
@@ -145,6 +146,14 @@ class EnsembleRunner:
         self.physics_perturbation = physics_perturbation
         self.pool = pool
         self.stencil_backend = stencil_backend
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if workers > 1 and pool is not None:
+            raise ValueError(
+                "workers > 1 forks member-sharded processes and cannot "
+                "share a serving ModelPool; pass pool=None"
+            )
+        self.workers = workers
 
     # -- serving-schema view ---------------------------------------------
     def request(self):
@@ -239,6 +248,8 @@ class EnsembleRunner:
         """The per-member loop on one shared warm model — the oracle."""
         from repro.dycore.stencil import plan_compile_count
 
+        if self.workers > 1:
+            return self._run_loop_forked()
         t0 = time.perf_counter()
         c0 = plan_compile_count()
         request = None
@@ -252,28 +263,70 @@ class EnsembleRunner:
             for member in range(self.n_members):
                 if member > 0:
                     model.reset()
-                state = self.scenario.member_state(
-                    model.mesh, model.vcoord, member, self.seed,
-                    self.perturbation,
-                )
-                if self.physics_perturbation > 0.0:
-                    self._wrap_physics(model, physics_perturbation_factors(
-                        model.mesh.nc, self.seed, member,
-                        self.physics_perturbation,
-                    ))
-                try:
-                    state = model.run(state, self.steps)
-                finally:
-                    self._unwrap_physics(model)
-                members.append(self._member_result(
-                    member, state, list(model.history.precip)
-                ))
+                members.append(self._run_member_shard(model, member))
         finally:
             if self.pool is not None:
                 self.pool.release(request, model)
         return self._result(
             "loop", members, plan_compile_count() - c0, t0
         )
+
+    def _run_loop_forked(self) -> EnsembleResult:
+        """Member-sharded fork of the oracle loop (``workers > 1``).
+
+        Worker ``w`` runs members ``w, w + W, ...`` on a private model.
+        Each member's trajectory starts from its own seeded initial
+        state on a freshly built (or bit-exactly reset) model, so the
+        shard assignment cannot change any member's bits — the result
+        is digest-identical to the serial loop, which the test suite
+        pins.  ``plan_compiles`` sums the per-worker deltas (each forked
+        process compiles the shared mesh's plan once).
+        """
+        import multiprocessing as mp
+
+        from repro.dycore.stencil import plan_compile_count
+
+        t0 = time.perf_counter()
+        c0 = plan_compile_count()
+        ctx = mp.get_context("fork")
+        n_workers = min(self.workers, self.n_members)
+        conns, procs = [], []
+        for w in range(n_workers):
+            parent, child = ctx.Pipe(duplex=False)
+            p = ctx.Process(
+                target=_loop_shard_worker,
+                args=(child, self, w, n_workers),
+                daemon=True,
+            )
+            p.start()
+            child.close()
+            conns.append(parent)
+            procs.append(p)
+        members: list = [None] * self.n_members
+        compiles = plan_compile_count() - c0
+        errors = []
+        for w, conn in enumerate(conns):
+            try:
+                tag, payload = conn.recv()
+            except (EOFError, ConnectionResetError, OSError):
+                errors.append(f"ensemble worker {w} died (pipe closed)")
+                continue
+            if tag == "ok":
+                shard, shard_compiles = payload
+                compiles += shard_compiles
+                for member, res in shard:
+                    members[member] = res
+            else:
+                errors.append(f"worker {w}: {payload}")
+        for conn in conns:
+            conn.close()
+        for p in procs:
+            p.join()
+        if errors:
+            raise RuntimeError(
+                "ensemble worker failed: " + "; ".join(errors)
+            )
+        return self._result("loop", members, compiles, t0)
 
     def _run_batch(self) -> EnsembleResult:
         """The member-vectorized batch on a replicated mesh."""
@@ -328,6 +381,21 @@ class EnsembleRunner:
             "batch", members, plan_compile_count() - c0, t0
         )
 
+    def _run_member_shard(self, model, member: int):
+        """One member of the loop, on an already-warm ``model``."""
+        state = self.scenario.member_state(
+            model.mesh, model.vcoord, member, self.seed, self.perturbation,
+        )
+        if self.physics_perturbation > 0.0:
+            self._wrap_physics(model, physics_perturbation_factors(
+                model.mesh.nc, self.seed, member, self.physics_perturbation,
+            ))
+        try:
+            state = model.run(state, self.steps)
+        finally:
+            self._unwrap_physics(model)
+        return self._member_result(member, state, list(model.history.precip))
+
     def check_equivalence(self) -> dict:
         """Run both modes and compare member digests — the live bitwise
         check behind ``repro ensemble --check-oracle`` and the
@@ -339,6 +407,29 @@ class EnsembleRunner:
             "loop": loop,
             "batch": batch,
         }
+
+
+def _loop_shard_worker(conn, runner: EnsembleRunner, shard: int, stride: int):
+    """Forked child: members ``shard, shard + stride, ...`` on a private
+    model, shipped back as ``("ok", (results, plan_compiles))``."""
+    from repro.dycore.stencil import plan_compile_count
+
+    try:
+        c0 = plan_compile_count()
+        model = runner._build_model()
+        out = []
+        for member in range(shard, runner.n_members, stride):
+            if out:
+                model.reset()
+            out.append((member, runner._run_member_shard(model, member)))
+        conn.send(("ok", (out, plan_compile_count() - c0)))
+    except Exception as exc:   # report, don't hang the parent's recv
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
 
 
 __all__ = [

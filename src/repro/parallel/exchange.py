@@ -29,6 +29,7 @@ on-the-wire bytes under ``PrecisionPolicy(mixed=True)``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -134,6 +135,11 @@ class EdgeCellExchanger:
         #: Completed exchange rounds — the epoch the race analyzer's
         #: pack/unpack clock edges are keyed on.
         self.exchange_epochs = 0
+        #: Cumulative wall seconds split by phase, so ``comm_stats`` can
+        #: report pack vs wire vs unpack instead of one conflated total.
+        self.seconds_total = 0.0
+        self.seconds_pack = 0.0
+        self.seconds_unpack = 0.0
 
     def register_cell(self, name: str, per_rank: list[np.ndarray]) -> None:
         self._check(per_rank, "cell")
@@ -286,6 +292,10 @@ class EdgeCellExchanger:
         """Registered field names in wire order."""
         return self._field_order()
 
+    def field_kinds(self) -> dict[str, str]:
+        """``{name: "cell" | "edge"}`` of every registered field."""
+        return {name: kind for name, (kind, _) in self._registry.items()}
+
     def access_annotations(self) -> dict:
         """Declared accesses of one exchange, per (rank, neighbour) pair.
 
@@ -336,6 +346,7 @@ class EdgeCellExchanger:
         self.exchange_epochs += 1
         epoch = self.exchange_epochs
         msgs0, bytes0 = self.comm.stats.messages, self.comm.stats.bytes_sent
+        t_start = time.perf_counter()
         with tracer.span(
             "exchange.edge_cell", SpanKind.HALO_EXCHANGE,
             n_vars=n_vars, epoch=epoch,
@@ -371,6 +382,7 @@ class EdgeCellExchanger:
                             rank, plan.neighbor, plan.send_buffer,
                             tag=7, copy=False,
                         )
+            t_packed = time.perf_counter()
             # Drain & unpack: scatter each dtype-typed block in place.
             with tracer.span(
                 "exchange.unpack", SpanKind.HALO_UNPACK,
@@ -404,6 +416,10 @@ class EdgeCellExchanger:
                                 .reshape((slot.idx.size,) + slot.trailing)
                             )
                             registry[slot.name][1][rank][slot.idx] = block
+            t_end = time.perf_counter()
+            self.seconds_pack += t_packed - t_start
+            self.seconds_unpack += t_end - t_packed
+            self.seconds_total += t_end - t_start
             ex_span.set(
                 messages=self.comm.stats.messages - msgs0,
                 bytes=self.comm.stats.bytes_sent - bytes0,
@@ -461,6 +477,7 @@ class EdgeCellExchanger:
         names = list(self._registry)
         tracer = get_tracer()
         self.exchange_epochs += 1
+        t_start = time.perf_counter()
         msgs0, bytes0 = self.comm.stats.messages, self.comm.stats.bytes_sent
         with tracer.span(
             "exchange.edge_cell", SpanKind.HALO_EXCHANGE, n_vars=len(names)
@@ -504,6 +521,7 @@ class EdgeCellExchanger:
                             pos += idx.size * width
                         if pos != payload.size:
                             raise RuntimeError("exchange payload size mismatch")
+            self.seconds_total += time.perf_counter() - t_start
             ex_span.set(
                 messages=self.comm.stats.messages - msgs0,
                 bytes=self.comm.stats.bytes_sent - bytes0,

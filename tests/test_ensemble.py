@@ -401,6 +401,40 @@ class TestMemberEquivalence:
         assert out.stdout.strip() == res.digest()
 
 
+class TestForkedLoopWorkers:
+    """``workers > 1`` shards the loop oracle across forked processes;
+    the contract is digest-identity with the serial loop."""
+
+    def test_forked_loop_matches_serial_digests(self):
+        serial = tiny_runner("tropical", n_members=3).run()
+        forked = tiny_runner("tropical", n_members=3, workers=2).run()
+        assert forked.member_digests() == serial.member_digests()
+        assert forked.digest() == serial.digest()
+        assert len(set(forked.member_digests())) == 3
+
+    def test_workers_clamped_to_member_count(self):
+        serial = tiny_runner("heatwave", steps=7).run()
+        forked = tiny_runner("heatwave", steps=7, workers=8).run()
+        assert forked.member_digests() == serial.member_digests()
+
+    def test_forked_perturbed_physics_matches_serial(self):
+        serial = tiny_runner("tropical", physics_perturbation=0.2).run()
+        forked = tiny_runner(
+            "tropical", physics_perturbation=0.2, workers=2
+        ).run()
+        assert forked.member_digests() == serial.member_digests()
+
+    def test_workers_reject_shared_pool(self):
+        from repro.serve import ModelPool
+
+        with pytest.raises(ValueError, match="pool"):
+            tiny_runner("tropical", workers=2, pool=ModelPool(max_models=1))
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            tiny_runner("tropical", workers=0)
+
+
 # -- example-script regression pins (satellite) -----------------------------
 
 class TestExampleRegressionPins:

@@ -1,0 +1,308 @@
+"""Tests of the overlapped interior/boundary execution path.
+
+The contract (documented in ``repro.parallel.overlap``):
+
+* the interior/boundary targets partition each rank's owned cells and
+  owned edges exactly;
+* the interior pass's closure touches only owned parent entries, which
+  is what makes it race-free against a concurrent halo unpack;
+* with the reference stencil backend the overlapped driver is bitwise
+  equal to the serial oracle; with the fused backend it is within the
+  declared per-field tolerance contract;
+* the derived step plan and the observed one-step run both analyze
+  clean under RD001-RD005, and stripping the tolerance contract makes
+  RD005 fire on every split compute op.
+"""
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.parallel_plan import OpKind, ParallelPlan
+from repro.analysis.race_sanitizer import RaceReplay, sanitize_run
+from repro.analysis.races import analyze_parallel_plan, build_step_plan
+from repro.dycore.solver import DycoreConfig
+from repro.dycore.state import baroclinic_wave_state
+from repro.dycore.vertical import VerticalCoordinate
+from repro.grid.mesh import build_mesh
+from repro.parallel.driver import DistributedDycore
+from repro.parallel.overlap import (
+    STENCIL_RADIUS,
+    TOLERANCE_CONTRACT,
+    build_overlap_splits,
+    contract_for,
+    owned_cell_halo_distance,
+)
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix", reason="StealingRankExecutor requires fork"
+)
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return build_mesh(3)
+
+
+@pytest.fixture(scope="module")
+def vc():
+    return VerticalCoordinate.uniform(5)
+
+
+def _driver(mesh, vc, backend=None, nparts=4, workers=2, overlap=True,
+            sponge=2):
+    cfg = DycoreConfig(
+        dt=600.0, sponge_levels=sponge, stencil_backend=backend,
+    )
+    d = DistributedDycore(
+        mesh, vc, cfg, nparts=nparts, workers=workers, overlap=overlap,
+    )
+    d.scatter(baroclinic_wave_state(mesh, vc))
+    return d
+
+
+class TestSplitInvariants:
+    def test_targets_partition_owned_entities(self, mesh, vc):
+        d = _driver(mesh, vc, workers=1)
+        try:
+            for lm, split in zip(d.locals, d.splits):
+                passes = [
+                    pm for pm in split.pass_meshes().values()
+                    if pm is not None
+                ]
+                cells = np.concatenate([pm.target_cells for pm in passes])
+                edges = np.concatenate([pm.target_edges for pm in passes])
+                assert np.array_equal(
+                    np.sort(cells), np.arange(lm.n_owned_cells)
+                )
+                assert np.array_equal(
+                    np.sort(edges), np.arange(lm.n_owned_edges)
+                )
+        finally:
+            d.close()
+
+    def test_interior_targets_are_distance_gt_radius(self, mesh, vc):
+        d = _driver(mesh, vc, workers=1)
+        try:
+            for lm, split in zip(d.locals, d.splits):
+                dist = owned_cell_halo_distance(lm)
+                if split.interior is not None:
+                    assert np.all(
+                        dist[split.interior.target_cells] > STENCIL_RADIUS
+                    )
+                if split.boundary is not None:
+                    assert np.all(
+                        dist[split.boundary.target_cells] <= STENCIL_RADIUS
+                    )
+        finally:
+            d.close()
+
+    def test_interior_closure_touches_owned_entries_only(self, mesh, vc):
+        """The race-freedom precondition: every parent cell/edge the
+        interior pass gathers from (not just its targets) is owned, so
+        a concurrent unpack writing halo entries cannot be observed."""
+        d = _driver(mesh, vc, workers=1)
+        try:
+            for lm, split in zip(d.locals, d.splits):
+                pm = split.interior
+                if pm is None:
+                    continue
+                assert np.all(pm.cells < lm.n_owned_cells)
+                assert np.all(pm.edges < lm.n_owned_edges)
+        finally:
+            d.close()
+
+    def test_splits_require_no_empty_meshes(self, mesh, vc):
+        subs = _driver(mesh, vc, workers=1)
+        try:
+            splits = build_overlap_splits(subs.locals)
+            assert any(s.interior is not None for s in splits)
+            assert all(s.boundary is not None for s in splits)
+        finally:
+            subs.close()
+
+
+class TestToleranceContract:
+    def test_reference_contract_is_bitwise(self):
+        assert all(v is None for v in contract_for("reference").values())
+
+    def test_fused_contract_declares_tolerances(self):
+        c = contract_for("fused")
+        assert all(v is not None and v > 0 for v in c.values())
+        assert set(c) == {"ps", "u", "theta"}
+
+    def test_unknown_backend_falls_back_to_fused(self):
+        assert contract_for("someday") == TOLERANCE_CONTRACT["fused"]
+
+
+class TestOverlapEquality:
+    def _gather(self, mesh, vc, backend, overlap, workers):
+        d = _driver(mesh, vc, backend=backend, overlap=overlap,
+                    workers=workers)
+        try:
+            d.run(2)
+            return d.gather()
+        finally:
+            d.close()
+
+    def test_reference_backend_is_bitwise_vs_serial(self, mesh, vc):
+        serial = self._gather(mesh, vc, "reference", False, 1)
+        over = self._gather(mesh, vc, "reference", True, 2)
+        for a, b in zip(serial, over):
+            assert np.array_equal(a, b)
+
+    def test_fused_backend_is_within_contract(self, mesh, vc):
+        serial = self._gather(mesh, vc, "fused", False, 1)
+        over = self._gather(mesh, vc, "fused", True, 2)
+        contract = contract_for("fused")
+        for name, a, b in zip(("ps", "u", "theta"), serial, over):
+            scale = np.max(np.abs(a)) or 1.0
+            assert np.max(np.abs(a - b)) <= contract[name] * scale
+
+    def test_overlap_single_worker_is_bitwise_too(self, mesh, vc):
+        """workers=1 still forks (the async round protocol needs a
+        worker process); the split itself must not change the bits."""
+        serial = self._gather(mesh, vc, "reference", False, 1)
+        over = self._gather(mesh, vc, "reference", True, 1)
+        for a, b in zip(serial, over):
+            assert np.array_equal(a, b)
+
+
+class TestOverlapStats:
+    def test_overlap_stats_accounting(self, mesh, vc):
+        d = _driver(mesh, vc)
+        try:
+            d.run(2)
+            ov = d.overlap_stats()
+            assert ov["enabled"]
+            # 3 RK stages x 2 steps of overlapped windows.
+            assert ov["windows"] == 6
+            assert 0.0 <= ov["overlap_fraction"] <= 1.0
+            assert ov["overlapped_seconds"] <= ov["exchange_seconds_total"]
+            assert ov["exposed_wait_seconds"] == pytest.approx(
+                ov["exchange_seconds_total"] - ov["overlapped_seconds"]
+            )
+        finally:
+            d.close()
+
+    def test_comm_stats_split_timings(self, mesh, vc):
+        d = _driver(mesh, vc)
+        try:
+            d.run(1)
+            cs = d.comm_stats()
+            for key in (
+                "messages", "bytes", "messages_per_exchange",
+                "exchange_seconds_total", "pack_seconds", "unpack_seconds",
+                "wire_seconds", "overlapped_seconds",
+                "exposed_wait_seconds", "overlap_fraction",
+            ):
+                assert key in cs
+            assert cs["exchange_seconds_total"] >= (
+                cs["pack_seconds"] + cs["unpack_seconds"]
+            ) - 1e-9
+            assert cs["exposed_wait_seconds"] <= cs["exchange_seconds_total"]
+        finally:
+            d.close()
+
+    def test_lockstep_comm_stats_report_zero_overlap(self, mesh, vc):
+        d = _driver(mesh, vc, overlap=False, workers=1)
+        try:
+            d.run(1)
+            cs = d.comm_stats()
+            assert cs["overlapped_seconds"] == 0.0
+            assert cs["overlap_fraction"] == 0.0
+            assert cs["exchange_seconds_total"] > 0.0
+        finally:
+            d.close()
+
+
+class TestOverlapRaceAnalysis:
+    @pytest.mark.parametrize("backend", ["reference", "fused"])
+    def test_static_step_plan_analyzes_clean(self, mesh, vc, backend):
+        d = _driver(mesh, vc, backend=backend, workers=1)
+        try:
+            plan = build_step_plan(d)
+            assert not analyze_parallel_plan(plan)
+            names = {op.name for op in plan.ops}
+            assert "interior.s1.rank0" in names
+            assert "boundary.s1.rank0" in names
+            assert "join.s1" in names
+        finally:
+            d.close()
+
+    def test_fused_ops_carry_tolerance_and_strip_fires_rd005(self, mesh, vc):
+        d = _driver(mesh, vc, backend="fused", workers=1)
+        try:
+            plan = build_step_plan(d)
+        finally:
+            d.close()
+        split_ops = [
+            op for op in plan.ops
+            if op.kind is OpKind.COMPUTE and op.name.startswith(
+                ("interior.", "boundary.")
+            )
+        ]
+        assert split_ops
+        assert all(
+            op.order_sensitive and op.tolerance is not None
+            for op in split_ops
+        )
+        stripped = ParallelPlan(
+            name=plan.name,
+            ops=[dataclasses.replace(op, tolerance=None) for op in plan.ops],
+            edges=plan.edges, arena=plan.arena, halo_recv=plan.halo_recv,
+        )
+        diags = analyze_parallel_plan(stripped)
+        rd005 = [d_ for d_ in diags if d_.rule == "RD005"]
+        assert len(rd005) == len(split_ops)
+        events = RaceReplay(stripped).run()
+        assert any(ev.rule == "RD005" for ev in events)
+
+    def test_reference_ops_claim_bitwise(self, mesh, vc):
+        d = _driver(mesh, vc, backend="reference", workers=1)
+        try:
+            plan = build_step_plan(d)
+        finally:
+            d.close()
+        for op in plan.ops:
+            if op.name.startswith(("interior.", "boundary.")):
+                if op.kind is OpKind.COMPUTE:
+                    assert not op.order_sensitive
+                    assert op.tolerance is None
+
+    def test_interior_runs_unordered_with_exchange(self, mesh, vc):
+        """The whole point: the plan declares NO happens-before between
+        the interior ops and the same stage's pack/unpack ops, and the
+        analyzer still proves the schedule clean from index sets."""
+        from repro.analysis.parallel_plan import HappensBefore
+
+        d = _driver(mesh, vc, workers=1)
+        try:
+            plan = build_step_plan(d)
+        finally:
+            d.close()
+        hb = HappensBefore(plan)
+        unpacks = [
+            op.name for op in plan.ops
+            if op.kind is OpKind.UNPACK and op.epoch == 1
+        ]
+        assert unpacks
+        assert any(
+            hb.concurrent("interior.s1.rank0", u) for u in unpacks
+        )
+        # ...while the boundary pass is strictly after every unpack.
+        assert all(hb.before(u, "boundary.s1.rank0") for u in unpacks)
+
+    @pytest.mark.parametrize("backend", ["reference", "fused"])
+    def test_dynamic_run_sanitizes_clean(self, mesh, vc, backend):
+        d = _driver(mesh, vc, backend=backend)
+        try:
+            report = sanitize_run(d, steps=1)
+        finally:
+            d.close()
+        assert report.clean, report.to_dict()["events"]
+        names = {op.name for op in report.plan.ops}
+        assert any(n.endswith(".interior.rank0") or ".interior" in n
+                   for n in names)

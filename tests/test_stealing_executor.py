@@ -1,0 +1,307 @@
+"""Work-stealing executor tests: deque protocol, scheduler accounting,
+and lifecycle under mid-step worker death.
+
+The hard requirement (satellite of the overlap work): ``close()`` after
+an exception inside a tendency round must neither hang nor leak worker
+processes — a poisoned round, a SIGKILLed worker, and an abandoned
+in-flight interior round all have to reap cleanly.
+"""
+
+import contextlib
+import multiprocessing as mp
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.dycore.solver import DycoreConfig
+from repro.dycore.state import baroclinic_wave_state
+from repro.dycore.vertical import VerticalCoordinate
+from repro.grid.mesh import build_mesh
+from repro.parallel.driver import DistributedDycore
+from repro.parallel.executor import StealingRankExecutor, _StealDeques
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix", reason="StealingRankExecutor requires fork"
+)
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return build_mesh(3)
+
+
+@pytest.fixture(scope="module")
+def vc():
+    return VerticalCoordinate.uniform(5)
+
+
+def _driver(mesh, vc, workers=2, sponge=2):
+    d = DistributedDycore(
+        mesh, vc, DycoreConfig(dt=600.0, sponge_levels=sponge),
+        nparts=4, workers=workers, overlap=True,
+    )
+    d.scatter(baroclinic_wave_state(mesh, vc))
+    return d
+
+
+@contextlib.contextmanager
+def _deadline(seconds):
+    """Turn a hang into a test failure instead of a stuck suite."""
+    def _alarm(signum, frame):
+        raise TimeoutError(f"operation exceeded {seconds}s deadline")
+
+    old = signal.signal(signal.SIGALRM, _alarm)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old)
+
+
+class TestStealDeques:
+    def _deques(self, workers=2, capacity=4):
+        return _StealDeques(workers, capacity, mp.get_context("fork"))
+
+    def test_owner_pops_fifo_from_head(self):
+        dq = self._deques()
+        dq.reset([[3, 1, 2], [0]])
+        assert [dq.pop_own(0) for _ in range(4)] == [3, 1, 2, -1]
+        assert dq.pop_own(1) == 0
+        assert dq.pop_own(1) == -1
+
+    def test_thief_takes_from_victim_tail(self):
+        dq = self._deques()
+        dq.reset([[3, 1, 2], []])
+        assert dq.steal(1) == 2          # victim's tail, not its head
+        assert dq.pop_own(0) == 3        # owner's head is untouched
+        assert dq.steal(1) == 1
+        assert dq.pop_own(0) == -1
+        assert dq.steal(1) == -1
+
+    def test_steal_scans_past_empty_victims(self):
+        dq = self._deques(workers=3)
+        dq.reset([[], [], [7]])
+        assert dq.steal(0) == 7
+        assert dq.steal(0) == -1
+
+    def test_reset_reuses_storage_between_rounds(self):
+        dq = self._deques()
+        dq.reset([[0, 1], [2, 3]])
+        while dq.pop_own(0) >= 0:
+            pass
+        dq.reset([[1], [0]])
+        assert dq.pop_own(0) == 1
+        assert dq.pop_own(1) == 0
+        assert dq.steal(0) == -1
+
+    def test_every_task_claimed_exactly_once_under_mixed_claims(self):
+        dq = self._deques(workers=2, capacity=8)
+        dq.reset([[0, 1, 2, 3], [4, 5, 6, 7]])
+        claimed = []
+        # Interleave owner pops and steals until both deques drain.
+        for claim in (
+            lambda: dq.pop_own(0), lambda: dq.steal(1),
+            lambda: dq.steal(0), lambda: dq.pop_own(1),
+        ) * 4:
+            r = claim()
+            if r >= 0:
+                claimed.append(r)
+        assert sorted(claimed) == list(range(8))
+
+
+class TestSchedulerAccounting:
+    def test_every_rank_task_runs_exactly_once_per_round(self, mesh, vc):
+        d = _driver(mesh, vc)
+        ex = d._executor
+        try:
+            d.run(2)
+            # Each round (interior, boundary, tend, sponge) must execute
+            # exactly one task per rank, owned or stolen.
+            assert ex.stats["rounds"] > 0
+            assert ex.stats["tasks"] == ex.stats["rounds"] * 4
+            assert 0 <= ex.stats["stolen"] <= ex.stats["tasks"]
+        finally:
+            d.close()
+
+    def test_round_robin_deal_covers_all_ranks(self, mesh, vc):
+        d = _driver(mesh, vc, workers=3)
+        ex = d._executor
+        try:
+            dealt = sorted(r for deque in ex._deal for r in deque)
+            assert dealt == [0, 1, 2, 3]
+            assert all(len(q) >= 1 for q in ex._deal)
+        finally:
+            d.close()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_reaps(self, mesh, vc):
+        d = _driver(mesh, vc)
+        ex = d._executor
+        d.run(1)
+        with _deadline(30):
+            d.close()
+            d.close()
+        assert ex.closed
+        assert not any(p.is_alive() for p in ex._procs)
+
+    def test_round_after_close_raises(self, mesh, vc):
+        d = _driver(mesh, vc)
+        d.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            d._executor.compute_tendencies()
+
+    def test_finish_without_begin_raises(self, mesh, vc):
+        d = _driver(mesh, vc)
+        try:
+            with pytest.raises(RuntimeError, match="no interior round"):
+                d._executor.finish_interior()
+        finally:
+            d.close()
+
+    def test_double_begin_raises(self, mesh, vc):
+        d = _driver(mesh, vc)
+        ex = d._executor
+        try:
+            ex.begin_interior()
+            with pytest.raises(RuntimeError, match="already in flight"):
+                ex.begin_interior()
+            ex.finish_interior()
+        finally:
+            d.close()
+
+    def test_close_drains_abandoned_inflight_round(self, mesh, vc):
+        """begin_interior with no finish (the path an exception in the
+        overlapped exchange would leave behind) must still close."""
+        d = _driver(mesh, vc)
+        ex = d._executor
+        ex.begin_interior()
+        with _deadline(30):
+            d.close()
+        assert ex.closed
+        assert ex._open_span is None
+        assert not any(p.is_alive() for p in ex._procs)
+
+    def test_gc_finalizer_reaps_without_explicit_close(self, mesh, vc):
+        import gc
+        import weakref
+
+        d = _driver(mesh, vc)
+        procs = list(d._executor._procs)
+        ref = weakref.ref(d._executor)
+        d._executor = None
+        d._arena = None
+        with _deadline(30):
+            gc.collect()
+        assert ref() is None
+        assert not any(p.is_alive() for p in procs)
+
+
+class TestMidStepWorkerDeath:
+    def test_exception_in_tendency_round_surfaces_and_close_is_clean(
+        self, mesh, vc
+    ):
+        """A worker that raises inside a round reports the error, the
+        next collect raises, and close() neither hangs nor leaks."""
+        d = _driver(mesh, vc)
+        ex = d._executor
+        d.run(1)                      # healthy first, slots warm
+        # Poison one round: slot 99 is out of range, so every worker's
+        # task body raises IndexError and the worker loop exits after
+        # reporting it.
+        ex._deques.reset(ex._deal)
+        ex._dead_at_post = {}
+        for conn in ex._conns:
+            conn.send(("round", "tend", 99))
+        with _deadline(30):
+            with pytest.raises(RuntimeError, match="rank worker failed"):
+                ex._collect()
+            d.close()
+        assert ex.closed
+        assert not any(p.is_alive() for p in ex._procs)
+
+    def test_sigkilled_worker_fails_next_round_and_close_is_clean(
+        self, mesh, vc
+    ):
+        d = _driver(mesh, vc)
+        ex = d._executor
+        d.run(1)
+        ex._procs[0].kill()
+        ex._procs[0].join(10)
+        with _deadline(60):
+            with pytest.raises(RuntimeError, match="rank worker failed"):
+                d.step()
+            d.close()
+        assert ex.closed
+        assert not any(p.is_alive() for p in ex._procs)
+
+    def test_worker_dead_before_interior_post_surfaces_at_finish(
+        self, mesh, vc
+    ):
+        """Death detected at post time (send fails) must not be lost:
+        finish_interior raises and the span is not left open."""
+        d = _driver(mesh, vc)
+        ex = d._executor
+        d.run(1)
+        ex._procs[1].kill()
+        ex._procs[1].join(10)
+        with _deadline(60):
+            ex.begin_interior()
+            with pytest.raises(RuntimeError, match="rank worker failed"):
+                ex.finish_interior()
+            assert ex._open_span is None
+            d.close()
+        assert ex.closed
+        assert not any(p.is_alive() for p in ex._procs)
+
+    def test_driver_overlap_step_after_worker_death_raises_once(
+        self, mesh, vc
+    ):
+        """The overlapped step path (begin -> exchange -> finish) must
+        propagate a worker death as RuntimeError, not deadlock."""
+        d = _driver(mesh, vc)
+        ex = d._executor
+        d.run(1)
+        before = d.gather()
+        for p in ex._procs:
+            p.kill()
+            p.join(10)
+        with _deadline(60):
+            with pytest.raises(RuntimeError, match="rank worker failed"):
+                d.step()
+            d.close()
+        # Prognostic state is still readable after the failed step.
+        after = d.gather()
+        assert all(np.all(np.isfinite(f)) for f in after)
+        assert len(before) == len(after)
+
+
+class TestDropInLockstepAPI:
+    def test_stealing_executor_serves_plain_rounds_bitwise(self, mesh, vc):
+        """Without a split, the stealing executor is a drop-in for the
+        lockstep one: same tend/sponge rounds, same bits."""
+        cfg = DycoreConfig(dt=600.0, sponge_levels=2)
+        serial = DistributedDycore(mesh, vc, cfg, nparts=4)
+        serial.scatter(baroclinic_wave_state(mesh, vc))
+        serial.run(2)
+        want = serial.gather()
+        serial.close()
+
+        d = DistributedDycore(
+            mesh, vc, cfg, nparts=4, workers=2, overlap=True,
+        )
+        d.scatter(baroclinic_wave_state(mesh, vc))
+        ex = d._executor
+        assert isinstance(ex, StealingRankExecutor)
+        try:
+            # Drive the lockstep-compatible API directly.
+            d.overlap = False
+            d.run(2)
+            got = d.gather()
+        finally:
+            d.close()
+        for a, b in zip(want, got):
+            assert np.array_equal(a, b)
